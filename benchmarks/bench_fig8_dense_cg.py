@@ -1,0 +1,77 @@
+"""Figure 8, left chart — Dense Conjugate Gradient (experiment F8-CG).
+
+Paper observation (Section 6.2): full-checkpoint overhead is moderate
+(~14%) for small matrices and rises sharply (43%) once the application
+state grows, while the everything-but-application-state variant stays small
+(~4.5%) — i.e. the state size is the cost driver.  The benchmarks regenerate
+the four bars per size; `test_cg_state_size_drives_overhead` asserts the
+shape.
+"""
+
+import pytest
+
+from repro.apps import dense_cg
+from repro.apps.dense_cg import CGParams
+from repro.apps.workloads import WorkloadPoint
+from repro.bench import measure_point, verify_variants_agree
+from repro.runtime.config import Variant
+
+from benchmarks.conftest import bench_config
+
+SIZES = {
+    "small": CGParams(n=64, iterations=30),
+    "medium": CGParams(n=128, iterations=30),
+    "large": CGParams(n=256, iterations=30),
+}
+
+
+def _run(params: CGParams, variant: Variant) -> None:
+    from dataclasses import replace
+
+    from repro.runtime.driver import run_with_recovery
+    from repro.statesave.storage import Storage
+
+    cfg = replace(bench_config(), variant=variant)
+    outcome = run_with_recovery(dense_cg.build(params), cfg, storage=Storage(None))
+    assert outcome.results[0]["max_error"] < 1e-6
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.parametrize("variant", list(Variant))
+def test_fig8_cg_bar(benchmark, size, variant):
+    """One bar of the chart: (problem size, build variant)."""
+    benchmark.group = f"fig8-dense-cg-{size}"
+    benchmark.name = variant.value
+    benchmark.pedantic(_run, args=(SIZES[size], variant), rounds=1, iterations=1)
+
+
+def test_cg_state_size_drives_overhead():
+    """The paper's CG shape: the gap between full checkpoints and
+    no-app-state checkpoints widens as the matrix grows."""
+    cfg = bench_config()
+    gaps = {}
+    for label, n in (("small", 64), ("large", 192)):
+        point = WorkloadPoint("dense_cg", label, "-", CGParams(n=n, iterations=25))
+        result = measure_point(dense_cg.build, point, cfg, repeats=2)
+        assert verify_variants_agree(result)
+        ov = result.overheads()
+        gaps[label] = ov[Variant.FULL] - ov[Variant.NO_APP_STATE]
+        # Checkpointing variants actually checkpointed.
+        assert result.measurements[Variant.FULL].checkpoints_committed >= 1
+    assert gaps["large"] > gaps["small"], (
+        f"app-state cost should grow with matrix size: {gaps}"
+    )
+
+
+def test_cg_storage_grows_with_state():
+    """Stored checkpoint bytes scale with the application state size."""
+    cfg = bench_config()
+    stored = {}
+    for n in (64, 128):
+        point = WorkloadPoint("dense_cg", str(n), "-", CGParams(n=n, iterations=25))
+        result = measure_point(
+            dense_cg.build, point, cfg, variants=(Variant.UNMODIFIED, Variant.FULL)
+        )
+        m = result.measurements[Variant.FULL]
+        stored[n] = m.storage_bytes / max(1, m.checkpoints_committed)
+    assert stored[128] > 2.5 * stored[64]

@@ -1,0 +1,81 @@
+"""Figure 8, right chart — Neurosys (experiment F8-NEU).
+
+Paper observation (Section 6.2): the protocol layer's *command* collective
+in front of each of Neurosys's six data collectives dominates at small
+problem sizes — up to 160% overhead at 16×16 — and decays as per-iteration
+computation grows: 85% (32×32), 34% (64×64), 2.7% (128×128).  The decay of
+the piggyback/command overhead with problem size is the asserted shape.
+"""
+
+import pytest
+
+from repro.apps import neurosys
+from repro.apps.neurosys import NeurosysParams
+from repro.apps.workloads import WorkloadPoint
+from repro.bench import measure_point, verify_variants_agree
+from repro.runtime.config import Variant
+
+from benchmarks.conftest import bench_config
+
+SIZES = {
+    "16x16-scaled": NeurosysParams(grid=4, iterations=40),
+    "32x32-scaled": NeurosysParams(grid=8, iterations=40),
+    "64x64-scaled": NeurosysParams(grid=16, iterations=40),
+    "128x128-scaled": NeurosysParams(grid=32, iterations=40),
+}
+
+
+def _run(params: NeurosysParams, variant: Variant) -> None:
+    from dataclasses import replace
+
+    from repro.runtime.driver import run_with_recovery
+    from repro.statesave.storage import Storage
+
+    cfg = replace(bench_config(), variant=variant)
+    run_with_recovery(neurosys.build(params), cfg, storage=Storage(None))
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.parametrize("variant", list(Variant))
+def test_fig8_neurosys_bar(benchmark, size, variant):
+    benchmark.group = f"fig8-neurosys-{size}"
+    benchmark.name = variant.value
+    benchmark.pedantic(_run, args=(SIZES[size], variant), rounds=1, iterations=1)
+
+
+def test_neurosys_command_overhead_decays_with_size():
+    """The 160% → 2.7% decay curve, at simulator scale."""
+    cfg = bench_config()
+    overheads = {}
+    for grid in (4, 16, 32):
+        point = WorkloadPoint(
+            "neurosys", f"{grid}x{grid}", "-",
+            NeurosysParams(grid=grid, iterations=25),
+        )
+        result = measure_point(
+            neurosys.build, point, cfg,
+            variants=(Variant.UNMODIFIED, Variant.PIGGYBACK),
+            repeats=2,
+        )
+        assert verify_variants_agree(result)
+        overheads[grid] = result.overheads()[Variant.PIGGYBACK]
+    assert overheads[4] > overheads[16] > overheads[32], (
+        f"command-collective overhead should decay with size: {overheads}"
+    )
+
+
+def test_neurosys_message_count_doubles_under_layer():
+    """Mechanism check: the layer sends a command collective before each
+    data collective, so delivered message counts roughly double."""
+    from dataclasses import replace
+
+    from repro.runtime.driver import run_with_recovery
+    from repro.statesave.storage import Storage
+
+    params = NeurosysParams(grid=4, iterations=10)
+    cfg_piggy = replace(bench_config(), variant=Variant.PIGGYBACK)
+    cfg_plain = replace(bench_config(), variant=Variant.UNMODIFIED)
+    with_layer = run_with_recovery(neurosys.build(params), cfg_piggy, storage=Storage(None))
+    plain = run_with_recovery(neurosys.build(params), cfg_plain, storage=Storage(None))
+    ratio = with_layer.network_messages / plain.network_messages
+    assert ratio >= 1.7, f"expected ~2x messages, got {ratio:.2f}x"

@@ -1,0 +1,102 @@
+"""Experiment A-PROT: protocol micro-costs.
+
+Per-operation throughput of the pieces that run on every message:
+classification, counter bookkeeping, match logging, and the late-message
+log — the constant factors behind the layer's per-message overhead.
+"""
+
+import pytest
+
+from repro.protocol.classify import classify_by_color, classify_by_epoch
+from repro.protocol.logs import LateMessageLog, LateRecord, MatchLog, MatchRecord
+from repro.protocol.state import ProtocolState
+
+N = 5000
+
+
+def test_classification_by_epoch(benchmark):
+    benchmark.group = "protocol-micro"
+
+    def run():
+        out = 0
+        for i in range(N):
+            out += classify_by_epoch(i % 3, 1).value != ""
+        return out
+
+    assert benchmark(run) == N
+
+
+def test_classification_by_color(benchmark):
+    benchmark.group = "protocol-micro"
+
+    def run():
+        out = 0
+        for i in range(N):
+            out += classify_by_color(i & 1, 4, bool(i & 2)).value != ""
+        return out
+
+    assert benchmark(run) == N
+
+
+def test_send_bookkeeping(benchmark):
+    benchmark.group = "protocol-micro"
+
+    def run():
+        state = ProtocolState(rank=0, nprocs=8)
+        for i in range(N):
+            state.note_send(1 + (i % 7))
+        return state.next_message_id
+
+    assert benchmark(run) == N
+
+
+def test_match_log_append(benchmark):
+    benchmark.group = "protocol-micro"
+
+    def run():
+        log = MatchLog()
+        for i in range(N):
+            log.append(MatchRecord(source=i % 4, tag=1, message_id=i, was_late=False))
+        return len(log)
+
+    assert benchmark(run) == N
+
+
+def test_late_log_append_and_consume(benchmark):
+    benchmark.group = "protocol-micro"
+
+    def run():
+        log = LateMessageLog()
+        for i in range(1000):
+            log.append(LateRecord(source=i % 4, tag=1, message_id=i, payload=i))
+        consumed = 0
+        for i in range(1000):
+            if log.take_by_id(i % 4, i) is not None:
+                consumed += 1
+        return consumed
+
+    assert benchmark(run) == 1000
+
+
+def test_epoch_transition(benchmark):
+    benchmark.group = "protocol-micro"
+
+    def run():
+        state = ProtocolState(rank=0, nprocs=16)
+        for _ in range(200):
+            state.note_send(1)
+            state.epoch_transition()
+        return state.epoch
+
+    assert benchmark(run) == 200
+
+
+def test_snapshot_cost(benchmark):
+    benchmark.group = "protocol-micro"
+    state = ProtocolState(rank=0, nprocs=16)
+
+    def run():
+        return state.snapshot_for_checkpoint()
+
+    snap = benchmark(run)
+    assert snap.rank == 0

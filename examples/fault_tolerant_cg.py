@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fault-tolerant dense Conjugate Gradient (the paper's first benchmark).
+
+Demonstrates the *automated* path: the CG solver is an ordinary Python/MPI
+program whose only concession to fault tolerance is a
+``potential_checkpoint()`` call per iteration; the precompiler transforms it
+so the entire live stack (matrix block, residual, search direction, loop
+position) is saved at checkpoints and rebuilt on restart.
+
+The script solves ``A x = A·1`` (exact solution: all ones) on 4 ranks,
+killing two different ranks at two different times along the way, and
+verifies the final solution against the analytic answer.
+
+Run:  python examples/fault_tolerant_cg.py
+"""
+
+from repro.apps.dense_cg import CGParams, build
+from repro.runtime import RunConfig, run_with_recovery
+from repro.simmpi import FailureSchedule, KillEvent
+
+
+def main() -> None:
+    params = CGParams(n=192, iterations=60)
+    config = RunConfig(
+        nprocs=4,
+        seed=7,
+        checkpoint_interval=0.004,
+        detector_timeout=0.05,
+    )
+    app = build(params)
+
+    print(f"dense CG: n={params.n}, {params.iterations} iterations, "
+          f"{config.nprocs} ranks")
+    print(f"per-rank state ≈ {params.state_bytes(config.nprocs) / 1024:.0f} KB")
+    print()
+
+    gold = run_with_recovery(app, config)
+    print(f"failure-free: max|x - 1| = {gold.results[0]['max_error']:.2e}, "
+          f"{gold.checkpoints_committed} checkpoint waves, "
+          f"1 attempt")
+
+    failures = FailureSchedule([KillEvent(0.006, 3), KillEvent(0.013, 0)])
+    outcome = run_with_recovery(app, config, failures=failures)
+    print(f"with 2 injected failures: {len(outcome.attempts)} attempts")
+    for attempt in outcome.attempts:
+        status = (
+            f"killed ranks {attempt.dead_ranks}" if attempt.failed else "completed"
+        )
+        origin = (
+            f"epoch {attempt.started_from_epoch}"
+            if attempt.started_from_epoch
+            else "scratch"
+        )
+        print(
+            f"  attempt {attempt.index}: from {origin:>8} — {status}"
+            f" (virtual t={attempt.virtual_time * 1e3:.1f} ms)"
+        )
+
+    assert outcome.results == gold.results
+    print()
+    print(f"recovered solution error: {outcome.results[0]['max_error']:.2e} "
+          "(bit-identical to failure-free) ✓")
+
+    stats = outcome.layer_stats[0]
+    print()
+    print("protocol-layer activity at rank 0 (final attempt):")
+    print(f"  sends={stats.sends}  receives={stats.receives}  "
+          f"collectives={stats.collectives}")
+    print(f"  checkpoints={stats.checkpoints_taken}  "
+          f"late messages logged={stats.late_logged}  "
+          f"suppressed resends={stats.suppressed_sends}")
+    print(f"  replayed: matches={stats.replayed_matches} "
+          f"late={stats.replayed_late} collectives={stats.replayed_collectives}")
+
+
+if __name__ == "__main__":
+    main()

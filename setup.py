@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses PEP 660 and needs the ``wheel`` package; on
+fully offline machines without it, use the legacy editable install:
+
+    python setup.py develop
+
+or simply put ``src/`` on ``PYTHONPATH`` / in a ``.pth`` file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro: reproduction of *Automated Application-level Checkpointing of MPI
+Programs* (Bronevetsky, Marques, Pingali, Stodghill — PPoPP 2003).
+
+Subpackages
+-----------
+``repro.simmpi``
+    Deterministic MPI simulator substrate (ranks, network, faults).
+``repro.protocol``
+    The C3 non-blocking coordinated checkpointing protocol (Figure 4),
+    piggybacking, logging, recovery, and MPI-library state virtualisation.
+``repro.precompiler``
+    Source-to-source transformation that makes Python functions save and
+    restore their own stack state (the CCIFT precompiler analogue).
+``repro.statesave``
+    Managed heap, globals registry, checkpoint assembly, stable storage.
+``repro.runtime``
+    The run -> fail -> restart orchestration driver and application context.
+``repro.apps``
+    The paper's three benchmark applications (dense CG, Laplace, Neurosys).
+``repro.bench``
+    The four-variant overhead harness that regenerates Figure 8.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""The paper's three benchmark applications (Section 6.1)."""
+
+from repro.apps.dense_cg import CGParams
+from repro.apps.laplace import LaplaceParams
+from repro.apps.neurosys import NeurosysParams
+from repro.apps.workloads import (
+    ALL_CHARTS,
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_NPROCS,
+    DENSE_CG_POINTS,
+    LAPLACE_POINTS,
+    NEUROSYS_POINTS,
+    PAPER_NPROCS,
+    WorkloadPoint,
+)
+
+__all__ = [
+    "ALL_CHARTS",
+    "CGParams",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_NPROCS",
+    "DENSE_CG_POINTS",
+    "LAPLACE_POINTS",
+    "LaplaceParams",
+    "NEUROSYS_POINTS",
+    "NeurosysParams",
+    "PAPER_NPROCS",
+    "WorkloadPoint",
+]

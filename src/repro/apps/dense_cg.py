@@ -1,0 +1,151 @@
+"""Dense Conjugate Gradient (paper Section 6.1, first benchmark).
+
+"A dense Conjugate Gradient code from Yingfeng Su of the University of San
+Francisco.  This code implements a parallel conjugate gradient algorithm
+with block row distribution.  The main loop performs a parallel matrix
+vector multiply and a parallel dot product, with communication coming from
+an allReduce and an allGather, which are implemented in terms of
+point-to-point messages along a butterfly tree."
+
+This implementation mirrors that structure: each rank owns a block of rows
+of a dense SPD matrix; every iteration assembles the full search direction
+with an ``allgather`` (butterfly for power-of-two sizes) and folds the two
+dot products with ``allreduce``; a ``potential_checkpoint()`` sits at the
+bottom of the iteration loop.  The matrix is generated deterministically
+from index arithmetic (symmetric, strictly diagonally dominant ⇒ SPD), and
+``b = A·1`` so the exact solution is the all-ones vector — giving the
+integration tests a ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.precompiler.api import PrecompiledApp, Precompiler
+
+
+@dataclass(frozen=True)
+class CGParams:
+    """Problem configuration (paper sizes: 4096, 8192, 16384; 500 iters)."""
+
+    n: int = 256
+    iterations: int = 50
+    #: Virtual seconds charged per local flop-block per iteration; models
+    #: the compute the 1 GHz Pentium III spent between messages.
+    compute_charge: bool = True
+
+    def state_bytes(self, nprocs: int) -> int:
+        """Approximate per-rank application state (the paper's chart labels:
+        8.2 MB / 33 MB / 131 MB for the full matrix block plus vectors)."""
+        rows = self.n // nprocs
+        return rows * self.n * 8 + 5 * self.n * 8
+
+
+def _row_block(rank: int, size: int, n: int) -> tuple[int, int]:
+    """Block-row ownership [lo, hi) for ``rank``; n must divide evenly in
+    paper configurations but uneven tails are handled."""
+    base = n // size
+    extra = n % size
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def make_matrix_block(n: int, lo: int, hi: int) -> np.ndarray:
+    """Rows [lo, hi) of the deterministic SPD test matrix.
+
+    ``A[i, j] = cos((i+1)(j+1)/n²)`` off the diagonal (symmetric by
+    construction, |entries| ≤ 1) and ``A[i, i] = n + 1`` (strict diagonal
+    dominance ⇒ positive definite).
+    """
+    i = np.arange(lo, hi, dtype=np.float64)[:, None] + 1.0
+    j = np.arange(n, dtype=np.float64)[None, :] + 1.0
+    block = np.cos(i * j / float(n * n))
+    for local, row in enumerate(range(lo, hi)):
+        block[local, row] = n + 1.0
+    return block
+
+
+# --------------------------------------------------------------------- #
+# The parallel application (precompiled unit).
+# --------------------------------------------------------------------- #
+
+
+def cg_iteration(ctx, a_block, x_local, r_local, p_local, rs_old, lo, hi, n):
+    """One CG step; returns (rs_new, alpha) with state updated in place."""
+    from repro.simmpi.op import SUM
+
+    # Assemble the full search direction (paper: allGather via butterfly).
+    p_parts = ctx.mpi.allgather(p_local)
+    p_full = np.concatenate(p_parts)
+    ap_local = a_block @ p_full
+    if ctx.params.compute_charge:
+        ctx.compute(flops=2.0 * (hi - lo) * n)
+    # Parallel dot product (paper: allReduce via butterfly).
+    pap = ctx.mpi.allreduce(float(p_local @ ap_local), SUM)
+    # Once CG has converged to machine zero the search direction vanishes;
+    # keep iterating with zero updates so every benchmark variant performs
+    # the same fixed amount of communication and compute.
+    alpha = rs_old / pap if pap > 0.0 else 0.0
+    x_local += alpha * p_local
+    r_local -= alpha * ap_local
+    rs_new = ctx.mpi.allreduce(float(r_local @ r_local), SUM)
+    ctx.potential_checkpoint()
+    return rs_new
+
+
+def cg_main(ctx):
+    """Entry point: distributed CG solve of A x = A·1."""
+    n = ctx.params.n
+    iterations = ctx.params.iterations
+    lo, hi = _row_block(ctx.rank, ctx.size, n)
+    a_block = make_matrix_block(n, lo, hi)
+    # b = A @ ones  => exact solution is the ones vector.
+    b_local = a_block.sum(axis=1)
+    x_local = np.zeros(hi - lo)
+    r_local = b_local.copy()
+    p_local = r_local.copy()
+    from repro.simmpi.op import SUM
+
+    rs_old = ctx.mpi.allreduce(float(r_local @ r_local), SUM)
+    it = 0
+    while it < iterations:
+        rs_new = cg_iteration(
+            ctx, a_block, x_local, r_local, p_local, rs_old, lo, hi, n
+        )
+        beta = rs_new / rs_old if rs_old > 0.0 else 0.0
+        p_local *= beta
+        p_local += r_local
+        rs_old = rs_new
+        it += 1
+    err = float(np.abs(x_local - 1.0).max())
+    return {"residual": rs_old, "max_error": err, "x_checksum": float(x_local.sum())}
+
+
+# --------------------------------------------------------------------- #
+# Harness glue.
+# --------------------------------------------------------------------- #
+
+_UNIT = None
+
+
+def unit():
+    """Lazily compile the CG unit (shared across benchmark runs)."""
+    global _UNIT
+    if _UNIT is None:
+        _UNIT = Precompiler([cg_main, cg_iteration], unit_name="dense_cg").compile()
+    return _UNIT
+
+
+def build(params: CGParams) -> PrecompiledApp:
+    """A driver-ready application instance for the given problem size."""
+    return PrecompiledApp(unit(), entry="cg_main", params=params)
+
+
+def reference(params: CGParams) -> dict:
+    """Serial CG with identical arithmetic order is impractical (parallel
+    reductions fold in rank order), but the *solution* is analytic: x = 1.
+    Returns the tolerances integration tests should check against."""
+    return {"solution": 1.0, "tolerance": 1e-6}

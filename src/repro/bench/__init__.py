@@ -1,0 +1,24 @@
+"""Benchmark harness: the four-variant Figure-8 measurement protocol."""
+
+from repro.bench.harness import (
+    ALL_VARIANTS,
+    ChartResult,
+    PointResult,
+    VariantMeasurement,
+    measure_chart,
+    measure_point,
+    verify_variants_agree,
+)
+from repro.bench.report import render_chart, render_overhead_table
+
+__all__ = [
+    "ALL_VARIANTS",
+    "ChartResult",
+    "PointResult",
+    "VariantMeasurement",
+    "measure_chart",
+    "measure_point",
+    "render_chart",
+    "render_overhead_table",
+    "verify_variants_agree",
+]

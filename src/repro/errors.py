@@ -1,0 +1,95 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without masking programming errors.  The stopping
+fault model of the paper is represented by :class:`ProcessKilled`, which is
+raised *inside* a simulated rank when fault injection stops it, and by
+:class:`FailureDetected`, which surfaces at the simulator level when the
+failure detector notices a dead peer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value or combination."""
+
+
+class SimMPIError(ReproError):
+    """Base class for errors raised by the MPI simulator substrate."""
+
+
+class ProcessKilled(SimMPIError):
+    """Injected stopping fault: the raising rank must cease all activity.
+
+    This exception is raised at the faulty rank's next scheduling point and
+    must never be caught by application code; the simulator uses it to tear
+    the rank down silently (the rank neither sends nor receives afterwards),
+    matching the paper's stopping failure model.
+    """
+
+    def __init__(self, rank: int, at_time: float) -> None:
+        super().__init__(f"rank {rank} killed at t={at_time:.6f}")
+        self.rank = rank
+        self.at_time = at_time
+
+
+class FailureDetected(SimMPIError):
+    """The distributed failure detector reported one or more dead ranks."""
+
+    def __init__(self, dead_ranks: tuple[int, ...], at_time: float) -> None:
+        ranks = ",".join(map(str, dead_ranks))
+        super().__init__(f"failure of rank(s) {ranks} detected at t={at_time:.6f}")
+        self.dead_ranks = tuple(dead_ranks)
+        self.at_time = at_time
+
+
+class DeadlockError(SimMPIError):
+    """All live ranks are blocked and no message can unblock any of them."""
+
+
+class MatchError(SimMPIError):
+    """A receive or wait was posted with arguments that can never match."""
+
+
+class ProtocolError(ReproError):
+    """The C3 coordination protocol reached an inconsistent state."""
+
+
+class PiggybackError(ProtocolError):
+    """Piggyback encoding/decoding failure (e.g. messageID overflow)."""
+
+
+class RecoveryError(ReproError):
+    """Restart from a checkpoint could not be completed."""
+
+
+class CheckpointError(ReproError):
+    """A local checkpoint could not be written or read."""
+
+
+class StorageError(CheckpointError):
+    """Stable storage failure (corrupt frame, missing commit record...)."""
+
+
+class PrecompilerError(ReproError):
+    """The source-to-source precompiler rejected or mis-handled input."""
+
+
+class UnsupportedConstructError(PrecompilerError):
+    """Source uses a construct outside the checkpointable subset."""
+
+    def __init__(self, construct: str, lineno: int | None = None, hint: str = "") -> None:
+        where = f" at line {lineno}" if lineno is not None else ""
+        extra = f" ({hint})" if hint else ""
+        super().__init__(f"unsupported construct {construct!r}{where}{extra}")
+        self.construct = construct
+        self.lineno = lineno
+
+
+class HeapError(ReproError):
+    """Managed heap misuse (double free, foreign pointer...)."""

@@ -1,0 +1,18 @@
+"""The precompiler: automated application-level state saving (Section 5.1)."""
+
+from repro.precompiler.api import PrecompiledApp, PrecompiledUnit, Precompiler
+from repro.precompiler.iterators import RangeIterator, RestartableIterator, SequenceIterator, c3_iter
+from repro.precompiler.runtime import C3StackRuntime, c3_enter, current_runtime
+
+__all__ = [
+    "C3StackRuntime",
+    "PrecompiledApp",
+    "PrecompiledUnit",
+    "Precompiler",
+    "RangeIterator",
+    "RestartableIterator",
+    "SequenceIterator",
+    "c3_enter",
+    "c3_iter",
+    "current_runtime",
+]

@@ -1,0 +1,235 @@
+"""Static analysis for the precompiler (paper Section 5.1.1).
+
+"The precompiler only needs to insert labels at function calls that can
+eventually lead to a potentialCheckpoint location."  This module computes
+that *checkpoint-reaching* set over a compilation unit:
+
+* a call site is a **checkpoint site** if it invokes a callable named
+  ``potential_checkpoint`` (plain or as a method, e.g.
+  ``ctx.potential_checkpoint()``);
+* a call site is a **checkpointable call** if it invokes, by plain name,
+  another function of the unit that reaches a checkpoint;
+* a function *reaches* if it contains a checkpoint site or a checkpointable
+  call (computed to fixpoint over the unit's call graph, which handles
+  mutual recursion).
+
+The analysis also enumerates every local name a function can bind (the VDS
+membership) and validates the supported subset, rejecting checkpointable
+calls in positions the transformation cannot relabel (inside ``try``/
+``with``/nested functions/comprehensions/boolean short-circuits).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.errors import UnsupportedConstructError
+
+CHECKPOINT_NAME = "potential_checkpoint"
+
+#: Call names that may take a local checkpoint inside the callee.  Barriers
+#: are checkpoint sites because the paper's epoch-alignment rule (Section
+#: 4.5) forces lagging processes to checkpoint just before executing one:
+#: "This solution requires the precompiler to insert the all-to-all
+#: communication and the potential checkpointing calls before each barrier."
+#: Giving every barrier call its own labelled block realises exactly that.
+CHECKPOINT_SITE_NAMES = frozenset({CHECKPOINT_NAME, "barrier"})
+
+
+def is_checkpoint_site(node: ast.AST) -> bool:
+    """True if ``node`` is a call that can take a local checkpoint."""
+    if not isinstance(node, ast.Call):
+        return False
+    fn = node.func
+    if isinstance(fn, ast.Name) and fn.id in CHECKPOINT_SITE_NAMES:
+        return True
+    if isinstance(fn, ast.Attribute) and fn.attr in CHECKPOINT_SITE_NAMES:
+        return True
+    return False
+
+
+def called_unit_functions(node: ast.AST, unit_names: set[str]) -> set[str]:
+    """Names of unit functions invoked by plain name anywhere under node."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+            if sub.func.id in unit_names:
+                out.add(sub.func.id)
+    return out
+
+
+@dataclass
+class FunctionInfo:
+    """Analysis results for one unit function."""
+
+    name: str
+    tree: ast.FunctionDef
+    has_checkpoint_site: bool = False
+    callees: set[str] = field(default_factory=set)
+    reaches: bool = False
+    local_names: list[str] = field(default_factory=list)
+
+
+class UnitAnalysis:
+    """Whole-unit analysis over a set of function ASTs."""
+
+    def __init__(self, functions: dict[str, ast.FunctionDef]) -> None:
+        self.infos: dict[str, FunctionInfo] = {}
+        unit_names = set(functions)
+        for name, tree in functions.items():
+            info = FunctionInfo(name=name, tree=tree)
+            info.has_checkpoint_site = any(
+                is_checkpoint_site(n) for n in ast.walk(tree)
+            )
+            info.callees = called_unit_functions(tree, unit_names)
+            info.local_names = discover_locals(tree)
+            self.infos[name] = info
+        self._compute_reaching()
+
+    def _compute_reaching(self) -> None:
+        """Fixpoint: f reaches iff it has a site or calls a reaching callee."""
+        for info in self.infos.values():
+            info.reaches = info.has_checkpoint_site
+        changed = True
+        while changed:
+            changed = False
+            for info in self.infos.values():
+                if info.reaches:
+                    continue
+                if any(
+                    self.infos[c].reaches
+                    for c in info.callees
+                    if c in self.infos
+                ):
+                    info.reaches = True
+                    changed = True
+
+    @property
+    def reaching(self) -> set[str]:
+        return {n for n, i in self.infos.items() if i.reaches}
+
+    def checkpointable_callees(self, name: str) -> set[str]:
+        """Unit functions whose call sites in ``name`` need labels."""
+        return {c for c in self.infos[name].callees if self.infos[c].reaches}
+
+
+def stmt_contains_checkpointable(
+    stmt: ast.stmt, reaching: set[str]
+) -> bool:
+    """Does this statement (recursively) contain a labelled call?"""
+    for node in ast.walk(stmt):
+        if is_checkpoint_site(node):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in reaching
+        ):
+            return True
+    return False
+
+
+def expr_contains_checkpointable(expr: ast.expr, reaching: set[str]) -> bool:
+    for node in ast.walk(expr):
+        if is_checkpoint_site(node):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in reaching
+        ):
+            return True
+    return False
+
+
+def discover_locals(tree: ast.FunctionDef) -> list[str]:
+    """Every name the function can bind: args, assignment targets, for
+    targets, withitems, walrus targets.  Nested function scopes excluded."""
+    names: list[str] = []
+    seen: set[str] = set()
+
+    def add(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+
+    args = tree.args
+    for a in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        add(a.arg)
+    if args.vararg:
+        add(args.vararg.arg)
+    if args.kwarg:
+        add(args.kwarg.arg)
+
+    class Collector(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            add(node.name)  # the def binds its name; don't descend
+
+        def visit_AsyncFunctionDef(self, node) -> None:
+            add(node.name)
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass  # separate scope
+
+        def visit_ListComp(self, node) -> None:
+            pass  # comprehension scopes are separate in py3
+
+        visit_SetComp = visit_DictComp = visit_GeneratorExp = visit_ListComp
+
+        def visit_Name(self, node: ast.Name) -> None:
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                add(node.id)
+
+        def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+            add(node.target.id)
+            self.visit(node.value)
+
+        def visit_Global(self, node: ast.Global) -> None:
+            raise UnsupportedConstructError(
+                "global", node.lineno,
+                "use the globals registry (repro.statesave.globals_registry)",
+            )
+
+        def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+            raise UnsupportedConstructError("nonlocal", node.lineno)
+
+    collector = Collector()
+    for stmt in tree.body:
+        collector.visit(stmt)
+    return names
+
+
+def validate_supported(tree: ast.FunctionDef, reaching: set[str]) -> None:
+    """Reject checkpointable calls in untransformable positions."""
+
+    def check_no_reach(node: ast.AST, construct: str) -> None:
+        for sub in ast.walk(node):
+            if is_checkpoint_site(sub) or (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in reaching
+            ):
+                raise UnsupportedConstructError(
+                    construct,
+                    getattr(node, "lineno", None),
+                    "checkpointable calls cannot be labelled here",
+                )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Try,)):
+            check_no_reach(node, "try containing checkpointable call")
+        elif isinstance(node, ast.With):
+            check_no_reach(node, "with containing checkpointable call")
+        elif isinstance(node, (ast.Lambda, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            check_no_reach(node, "nested scope containing checkpointable call")
+        elif isinstance(node, ast.FunctionDef) and node is not tree:
+            check_no_reach(node, "nested def containing checkpointable call")
+        elif isinstance(node, (ast.BoolOp, ast.IfExp)):
+            check_no_reach(node, "short-circuit expression containing checkpointable call")
+        elif isinstance(node, (ast.AsyncFunctionDef, ast.AsyncFor, ast.AsyncWith, ast.Await)):
+            raise UnsupportedConstructError("async construct", getattr(node, "lineno", None))
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            raise UnsupportedConstructError("generator function", getattr(node, "lineno", None))

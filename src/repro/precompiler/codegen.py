@@ -1,0 +1,165 @@
+"""Code generation: assemble the transformed function (paper Figure 6).
+
+Given a function's basic blocks, emit::
+
+    def f(<original args>):
+        _c3fr = _c3_enter('<unit>.<name>')
+        if _c3fr is None:
+            _pc = 0
+        else:
+            _pc = _c3fr['_pc']
+            if 'x' in _c3fr: x = _c3fr['x']      # one per local (the VDS)
+            ...
+        while True:
+            if _pc == 0:
+                ...
+            elif _pc == 1:
+                ...
+
+The prologue is the restart jump: a restored frame's locals and ``_pc`` are
+re-seeded and the dispatch loop lands in the middle of the function.  Names
+in the unit's exclusion set (runtime handles such as ``ctx``) are never in
+the saved dict, so the fresh argument values survive — they are re-supplied
+by the caller's re-executed call expression, layer by layer, exactly like
+the paper's rebuilt activation stack.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.errors import PrecompilerError
+from repro.precompiler.desugar import _const, _name
+from repro.precompiler.flatten import Block
+
+ENTER_HELPER = "_c3_enter"
+ITER_HELPER = "_c3_iter"
+
+
+def build_dispatch(blocks: list[Block]) -> ast.While:
+    """The ``while True: if _pc == 0: ... elif ...`` dispatch loop."""
+    if not blocks:
+        raise PrecompilerError("no blocks to dispatch")
+    branches: ast.stmt | None = None
+    for block in reversed(blocks):
+        body = block.stmts if block.stmts else [ast.Pass()]
+        test = ast.Compare(
+            left=_name("_pc"),
+            ops=[ast.Eq()],
+            comparators=[_const(block.index)],
+        )
+        node = ast.If(
+            test=test,
+            body=body,
+            orelse=[branches] if branches is not None else [
+                # Unknown _pc: corrupted restore data; fail loudly.
+                ast.Raise(
+                    exc=ast.Call(
+                        func=_name("RuntimeError"),
+                        args=[
+                            ast.BinOp(
+                                left=_const("invalid _pc "),
+                                op=ast.Add(),
+                                right=ast.Call(
+                                    func=_name("str"), args=[_name("_pc")], keywords=[]
+                                ),
+                            )
+                        ],
+                        keywords=[],
+                    ),
+                    cause=None,
+                )
+            ],
+        )
+        branches = node
+    assert branches is not None
+    return ast.While(test=_const(True), body=[branches], orelse=[])
+
+
+def build_prologue(func_id: str, local_names: list[str]) -> list[ast.stmt]:
+    """``_c3fr = _c3_enter(id)`` plus the per-local restore (the VDS read)."""
+    restore_body: list[ast.stmt] = [
+        ast.Assign(
+            targets=[ast.Name(id="_pc", ctx=ast.Store())],
+            value=ast.Subscript(
+                value=_name("_c3fr"), slice=_const("_pc"), ctx=ast.Load()
+            ),
+        )
+    ]
+    for name in local_names:
+        restore_body.append(
+            ast.If(
+                test=ast.Compare(
+                    left=_const(name),
+                    ops=[ast.In()],
+                    comparators=[_name("_c3fr")],
+                ),
+                body=[
+                    ast.Assign(
+                        targets=[ast.Name(id=name, ctx=ast.Store())],
+                        value=ast.Subscript(
+                            value=_name("_c3fr"),
+                            slice=_const(name),
+                            ctx=ast.Load(),
+                        ),
+                    )
+                ],
+                orelse=[],
+            )
+        )
+    return [
+        ast.Assign(
+            targets=[ast.Name(id="_c3fr", ctx=ast.Store())],
+            value=ast.Call(func=_name(ENTER_HELPER), args=[_const(func_id)], keywords=[]),
+        ),
+        ast.If(
+            test=ast.Compare(
+                left=_name("_c3fr"), ops=[ast.Is()], comparators=[_const(None)]
+            ),
+            body=[
+                ast.Assign(
+                    targets=[ast.Name(id="_pc", ctx=ast.Store())], value=_const(0)
+                )
+            ],
+            orelse=restore_body,
+        ),
+    ]
+
+
+def build_function(
+    original: ast.FunctionDef,
+    func_id: str,
+    blocks: list[Block],
+    local_names: list[str],
+) -> ast.FunctionDef:
+    """The full transformed FunctionDef (decorators stripped: the transform
+    *is* the decoration)."""
+    body: list[ast.stmt] = []
+    if (
+        original.body
+        and isinstance(original.body[0], ast.Expr)
+        and isinstance(original.body[0].value, ast.Constant)
+        and isinstance(original.body[0].value.value, str)
+    ):
+        body.append(original.body[0])  # keep the docstring
+    body.extend(build_prologue(func_id, local_names))
+    body.append(build_dispatch(blocks))
+    fn = ast.FunctionDef(
+        name=original.name,
+        args=original.args,
+        body=body,
+        decorator_list=[],
+        returns=None,
+        type_comment=None,
+        type_params=[],
+    )
+    ast.fix_missing_locations(fn)
+    return fn
+
+
+def compile_module(
+    functions: list[ast.FunctionDef], module_name: str
+) -> "ast.Module":
+    module = ast.Module(body=list(functions), type_ignores=[])
+    ast.fix_missing_locations(module)
+    return module

@@ -1,0 +1,99 @@
+"""Restartable iterators for desugared ``for`` loops.
+
+The precompiler rewrites every ``for`` loop that can reach a
+``potential_checkpoint`` into a ``while`` loop over a :func:`c3_iter`
+wrapper.  Unlike native Python iterators, these wrappers are *picklable* —
+their full progress state rides inside the checkpointed frame locals, so a
+restored frame resumes mid-loop exactly where it left off.
+
+``range`` iterates arithmetically (O(1) state); sequences iterate by index;
+anything else is materialised once into a list (documented restriction: a
+one-shot generator consumed by a checkpointable loop is snapshotted at loop
+entry).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+
+class RestartableIterator:
+    """Common interface: ``has_next()`` / ``next()``; picklable."""
+
+    def has_next(self) -> bool:
+        raise NotImplementedError
+
+    def next(self) -> Any:
+        raise NotImplementedError
+
+
+class RangeIterator(RestartableIterator):
+    """O(1)-state iterator over a range."""
+
+    def __init__(self, r: range) -> None:
+        self.start = r.start
+        self.stop = r.stop
+        self.step = r.step
+        self.index = 0
+        self._length = len(r)
+
+    def has_next(self) -> bool:
+        return self.index < self._length
+
+    def next(self) -> int:
+        if not self.has_next():
+            raise StopIteration
+        value = self.start + self.index * self.step
+        self.index += 1
+        return value
+
+
+class SequenceIterator(RestartableIterator):
+    """Index-based iterator over a concrete sequence.
+
+    The sequence itself is pickled with the iterator; because the whole rank
+    state goes into one pickle, a frame-local alias of the same list remains
+    the *same object* after restore.
+    """
+
+    def __init__(self, seq) -> None:
+        self.seq = seq
+        self.index = 0
+
+    def has_next(self) -> bool:
+        return self.index < len(self.seq)
+
+    def next(self) -> Any:
+        if not self.has_next():
+            raise StopIteration
+        value = self.seq[self.index]
+        self.index += 1
+        return value
+
+
+def c3_iter(obj: Iterable) -> RestartableIterator:
+    """Wrap any iterable in a restartable, picklable iterator."""
+    if isinstance(obj, RestartableIterator):
+        return obj
+    if isinstance(obj, range):
+        return RangeIterator(obj)
+    if isinstance(obj, (list, tuple, str, bytes)):
+        return SequenceIterator(obj)
+    if isinstance(obj, np.ndarray):
+        return SequenceIterator(obj)
+    if isinstance(obj, dict):
+        return SequenceIterator(list(obj))
+    if isinstance(obj, (set, frozenset)):
+        return SequenceIterator(sorted(obj) if _sortable(obj) else list(obj))
+    # Generic one-shot iterable: materialise (checkpoint-visible snapshot).
+    return SequenceIterator(list(obj))
+
+
+def _sortable(obj) -> bool:
+    try:
+        sorted(obj)
+        return True
+    except TypeError:
+        return False

@@ -1,0 +1,129 @@
+"""Per-process protocol variables (paper Section 4.4, Figure 4 preamble).
+
+:class:`ProtocolState` carries exactly the variables the paper's pseudocode
+maintains, under the paper's names (snake_cased):
+
+* ``epoch`` — current epoch number, initialised to 0;
+* ``am_logging`` — whether late-message/non-determinism logging is active;
+* ``next_message_id`` — per-epoch send sequence number;
+* ``checkpoint_requested`` — set by ``pleaseCheckpoint``;
+* ``send_count[q]`` — application messages sent to ``q`` this epoch;
+* ``early_ids[q]`` — IDs of early messages received from ``q``;
+* ``current_receive_count[q]`` / ``previous_receive_count[q]`` — the paper's
+  two receive counters (late messages of the previous epoch may intersperse
+  with intra-epoch messages of the new one, Section 4.3);
+* ``total_sent[q]`` — the count announced by ``q``'s ``mySendCount``, or
+  ``None`` for the paper's ⊥.
+
+The state is a plain picklable object: it rides inside every local
+checkpoint.  ``senders``/``receivers`` realise the paper's communication
+topology sets; by default every process may talk to every other one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ProtocolState:
+    """Figure-4 variables for one process."""
+
+    rank: int
+    nprocs: int
+    epoch: int = 0
+    am_logging: bool = False
+    next_message_id: int = 0
+    checkpoint_requested: bool = False
+    #: Epoch this process has been asked to move into (wave target), used to
+    #: ignore duplicate/stale pleaseCheckpoint tokens.
+    requested_target: int = 0
+    send_count: dict[int, int] = field(default_factory=dict)
+    early_ids: dict[int, list[int]] = field(default_factory=dict)
+    current_receive_count: dict[int, int] = field(default_factory=dict)
+    previous_receive_count: dict[int, int] = field(default_factory=dict)
+    total_sent: dict[int, Optional[int]] = field(default_factory=dict)
+    #: Whether readyToStopLogging has been sent for the current epoch.
+    ready_sent: bool = False
+    senders: tuple[int, ...] = ()
+    receivers: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        others = tuple(r for r in range(self.nprocs) if r != self.rank)
+        if not self.senders:
+            self.senders = others
+        if not self.receivers:
+            self.receivers = others
+        for q in self.receivers:
+            self.send_count.setdefault(q, 0)
+        for q in self.senders:
+            self.early_ids.setdefault(q, [])
+            self.current_receive_count.setdefault(q, 0)
+            self.previous_receive_count.setdefault(q, 0)
+            self.total_sent.setdefault(q, None)
+
+    # ------------------------------------------------------------------ #
+
+    def note_send(self, dest: int) -> int:
+        """Account for one application send; returns the message's ID."""
+        message_id = self.next_message_id
+        self.next_message_id += 1
+        self.send_count[dest] = self.send_count.get(dest, 0) + 1
+        return message_id
+
+    def all_late_received(self) -> bool:
+        """The paper's receivedAll? condition over every sender."""
+        for q in self.senders:
+            expected = self.total_sent.get(q)
+            if expected is None:
+                return False
+            if self.previous_receive_count.get(q, 0) != expected:
+                return False
+        return True
+
+    def reset_total_sent(self) -> None:
+        for q in self.senders:
+            self.total_sent[q] = None
+
+    def epoch_transition(self) -> dict[int, int]:
+        """Apply the potentialCheckpoint bookkeeping of Figure 4.
+
+        Shifts the receive counters, re-seeds the current counts from the
+        early-message IDs (early messages belong to the *new* epoch), clears
+        the early lists and the per-epoch send state, and increments the
+        epoch.  Returns the per-receiver send counts of the epoch that just
+        ended (the ``mySendCount`` payloads).
+        """
+        old_send_counts = dict(self.send_count)
+        self.epoch += 1
+        for q in self.senders:
+            self.previous_receive_count[q] = self.current_receive_count.get(q, 0)
+            self.current_receive_count[q] = len(self.early_ids.get(q, []))
+            self.early_ids[q] = []
+        for q in self.receivers:
+            self.send_count[q] = 0
+        self.checkpoint_requested = False
+        self.next_message_id = 0
+        self.ready_sent = False
+        return old_send_counts
+
+    def snapshot_for_checkpoint(self) -> "ProtocolState":
+        """The state image stored in a local checkpoint.
+
+        Captured *after* :meth:`epoch_transition`, with logging-related
+        transients normalised: a restored process starts its epoch in replay
+        mode, not logging mode, and awaits fresh ``mySendCount`` tokens only
+        at its next checkpoint.
+        """
+        import copy
+
+        snap = copy.deepcopy(self)
+        snap.am_logging = False
+        snap.checkpoint_requested = False
+        snap.ready_sent = False
+        snap.next_message_id = 0
+        for q in snap.senders:
+            snap.total_sent[q] = None
+            snap.previous_receive_count[q] = 0
+        return snap

@@ -1,0 +1,108 @@
+"""Run-level configuration: variants, intervals, simulator knobs.
+
+:class:`Variant` captures the four build configurations of the paper's
+evaluation (Section 6.2):
+
+========  ==========================================  =======================
+Variant   Paper name                                  Configuration
+========  ==========================================  =======================
+V0        "Unmodified Program"                        no piggyback, no
+                                                      protocol, no checkpoints
+V1        "Using Protocol Layer, No Checkpoints"      piggyback + protocol
+                                                      layer, no waves
+V2        "Checkpointing, No Application State"       full protocol, app
+                                                      state omitted
+V3        "Full Checkpoints"                          everything
+========  ==========================================  =======================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.protocol.layer import C3Config
+from repro.simmpi.clock import CostModel
+
+
+class Variant(enum.Enum):
+    UNMODIFIED = "unmodified"
+    PIGGYBACK = "piggyback"
+    NO_APP_STATE = "no-app-state"
+    FULL = "full"
+
+    @property
+    def paper_name(self) -> str:
+        return {
+            Variant.UNMODIFIED: "Unmodified Program",
+            Variant.PIGGYBACK: "Using Protocol Layer, No Checkpoints",
+            Variant.NO_APP_STATE: "Checkpointing, No Application State",
+            Variant.FULL: "Full Checkpoints",
+        }[self]
+
+
+@dataclass
+class RunConfig:
+    """Everything needed to execute one application under the driver."""
+
+    nprocs: int
+    seed: int = 0
+    variant: Variant = Variant.FULL
+    #: Virtual-time distance between checkpoint waves (paper: 30 s).
+    checkpoint_interval: Optional[float] = 0.030
+    codec: str = "packed"
+    storage_path: Optional[str] = None
+    max_restarts: int = 16
+    sched_policy: str = "random"
+    ordering: str = "per_tag_fifo"
+    base_delay: float = 5e-6
+    jitter: float = 20e-6
+    detector_timeout: float = 0.25
+    cost_model: CostModel = field(default_factory=CostModel)
+    max_slices: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ConfigError("max_restarts must be >= 0")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigError("checkpoint_interval must be positive or None")
+
+    def c3_config(self) -> C3Config:
+        """Derive the protocol-layer configuration for this variant."""
+        v = self.variant
+        if v is Variant.UNMODIFIED:
+            return C3Config(
+                codec=self.codec,
+                checkpoint_interval=None,
+                protocol_enabled=False,
+                piggyback_enabled=False,
+                save_app_state=False,
+            )
+        if v is Variant.PIGGYBACK:
+            return C3Config(
+                codec=self.codec,
+                checkpoint_interval=None,
+                protocol_enabled=True,
+                save_app_state=False,
+            )
+        if v is Variant.NO_APP_STATE:
+            return C3Config(
+                codec=self.codec,
+                checkpoint_interval=self.checkpoint_interval,
+                protocol_enabled=True,
+                save_app_state=False,
+            )
+        return C3Config(
+            codec=self.codec,
+            checkpoint_interval=self.checkpoint_interval,
+            protocol_enabled=True,
+            save_app_state=True,
+        )
+
+    @property
+    def checkpointing_active(self) -> bool:
+        return self.variant in (Variant.NO_APP_STATE, Variant.FULL) and (
+            self.checkpoint_interval is not None
+        )

@@ -1,0 +1,189 @@
+"""The recovery driver: run → fail → roll back → restart.
+
+The paper's recovery model is global rollback: "if any process fails, all
+processes are rolled back to the last checkpoint, and the computation is
+restarted from there."  :func:`run_with_recovery` realises it:
+
+1. Execute one simulator attempt.  Every rank builds a fresh protocol layer;
+   if a committed global checkpoint exists, the rank restores from it
+   (suppression exchange + deterministic replay arming) before re-entering
+   the application.
+2. If the attempt completes, collect results.
+3. If the failure detector fires, the whole attempt is torn down (all ranks
+   rolled back) and a new attempt starts from the last *committed*
+   checkpoint.  A failure before the first commit restarts from scratch.
+
+Failure schedules are stateful across attempts: a kill event consumed in
+attempt *n* does not fire again in attempt *n+1* (the faulty node has been
+"replaced"), matching how mean-time-between-failure experiments are run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import RecoveryError
+from repro.protocol.layer import C3Layer
+from repro.runtime.config import RunConfig, Variant
+from repro.runtime.context import C3AppContext
+from repro.simmpi.failures import FailureSchedule
+from repro.simmpi.simulator import SimConfig, SimResult, Simulator
+from repro.statesave.storage import Storage
+
+AppMain = Callable[[C3AppContext], Any]
+
+
+@dataclass
+class AttemptRecord:
+    """Outcome of one simulation attempt."""
+
+    index: int
+    completed: bool
+    failed: bool
+    dead_ranks: tuple[int, ...]
+    started_from_epoch: Optional[int]
+    virtual_time: float
+    wall_seconds: float
+
+
+@dataclass
+class RunOutcome:
+    """Final outcome of a driver run."""
+
+    results: list[Any]
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    total_wall_seconds: float = 0.0
+    total_virtual_time: float = 0.0
+    checkpoints_committed: int = 0
+    storage_bytes_written: int = 0
+    #: Per-rank protocol layer stats from the final (successful) attempt.
+    layer_stats: list[Any] = field(default_factory=list)
+    network_bytes: int = 0
+    network_messages: int = 0
+
+    @property
+    def restarts(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+
+def run_with_recovery(
+    app_main: AppMain,
+    config: RunConfig,
+    failures: FailureSchedule | None = None,
+    storage: Storage | None = None,
+) -> RunOutcome:
+    """Execute ``app_main`` under the given variant until it completes.
+
+    ``app_main`` receives a :class:`C3AppContext`.  Returns per-rank results
+    plus attempt/overhead accounting.  Raises :class:`RecoveryError` when
+    ``config.max_restarts`` is exceeded.
+    """
+    storage = storage if storage is not None else Storage(config.storage_path)
+    failures = failures or FailureSchedule.none()
+    c3cfg = config.c3_config()
+    outcome = RunOutcome(results=[])
+    wall_start = time.perf_counter()
+    attempt_index = 0
+    # The per-attempt layer registry lets us read stats after a run; keyed
+    # by rank, rebuilt on every attempt.
+    layers: list[Optional[C3Layer]] = [None] * config.nprocs
+
+    while True:
+        committed = storage.committed_epoch() if config.checkpointing_active else None
+
+        def rank_main(rank_ctx, _committed=committed):
+            layer = C3Layer(rank_ctx.comm, c3cfg, storage)
+            layers[rank_ctx.rank] = layer
+            rank_ctx.c3 = layer
+            restored_state = None
+            restored = False
+            if _committed is not None:
+                data = storage.read_state(rank_ctx.rank, _committed)
+                logs = storage.read_log(rank_ctx.rank, _committed)
+                layer.restore_from(data, logs)
+                restored_state = data.app_state
+                restored = True
+                rank_ctx.restoring = True
+            app_ctx = C3AppContext(
+                rank_ctx, layer, restored_app_state=restored_state, restored=restored
+            )
+            return app_main(app_ctx)
+
+        sim = Simulator(
+            SimConfig(
+                nprocs=config.nprocs,
+                seed=config.seed + attempt_index,  # fresh interleavings per attempt
+                app_seed=config.seed,              # application randomness stable
+                sched_policy=config.sched_policy,
+                ordering=config.ordering,
+                base_delay=config.base_delay,
+                jitter=config.jitter,
+                detector_timeout=config.detector_timeout,
+                cost_model=config.cost_model,
+                max_slices=config.max_slices,
+            ),
+            rank_main,
+            failures=failures,
+        )
+        result: SimResult = sim.run()
+        outcome.attempts.append(
+            AttemptRecord(
+                index=attempt_index,
+                completed=result.completed,
+                failed=result.failed,
+                dead_ranks=result.dead_ranks,
+                started_from_epoch=committed,
+                virtual_time=result.virtual_time,
+                wall_seconds=result.wall_seconds,
+            )
+        )
+        outcome.total_virtual_time += result.virtual_time
+        outcome.network_bytes += result.network.bytes_delivered
+        outcome.network_messages += result.network.delivered
+        attempt_index += 1
+
+        if result.completed:
+            outcome.results = result.results
+            outcome.layer_stats = [
+                layer.stats if layer is not None else None for layer in layers
+            ]
+            break
+        if not result.failed:
+            raise RecoveryError("attempt neither completed nor failed — simulator bug")
+        if attempt_index > config.max_restarts:
+            raise RecoveryError(
+                f"exceeded max_restarts={config.max_restarts}; "
+                f"last failure killed ranks {result.dead_ranks}"
+            )
+
+    outcome.total_wall_seconds = time.perf_counter() - wall_start
+    committed = storage.committed_epoch()
+    outcome.checkpoints_committed = committed if committed is not None else 0
+    outcome.storage_bytes_written = storage.bytes_written
+    return outcome
+
+
+def run_variant_suite(
+    app_main: AppMain,
+    base_config: RunConfig,
+    variants: tuple[Variant, ...] = (
+        Variant.UNMODIFIED,
+        Variant.PIGGYBACK,
+        Variant.NO_APP_STATE,
+        Variant.FULL,
+    ),
+) -> dict[Variant, RunOutcome]:
+    """Run the same application under each variant (the Figure-8 protocol).
+
+    Each variant gets a fresh in-memory storage so checkpoints from one
+    variant cannot leak into another.
+    """
+    from dataclasses import replace
+
+    outcomes: dict[Variant, RunOutcome] = {}
+    for variant in variants:
+        cfg = replace(base_config, variant=variant)
+        outcomes[variant] = run_with_recovery(app_main, cfg, storage=Storage(None))
+    return outcomes

@@ -1,0 +1,66 @@
+"""simmpi: a deterministic MPI simulator substrate.
+
+This package stands in for the paper's cluster + vendor MPI: it provides
+ranks with real Python call stacks (one thread each, deterministically
+interleaved), an MPI-style communicator API, a reliable but reorderable
+network, stopping-fault injection, and heartbeat failure detection.
+
+Quick use::
+
+    from repro.simmpi import run_simple
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("hello", dest=1)
+        elif ctx.rank == 1:
+            return ctx.comm.recv(source=0)
+
+    result = run_simple(main, nprocs=2)
+    assert result.results[1] == "hello"
+"""
+
+from repro.simmpi.clock import CostModel, VirtualClock
+from repro.simmpi.comm import Comm
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, TAG_CONTROL
+from repro.simmpi.failure_detector import HeartbeatFailureDetector
+from repro.simmpi.failures import FailureSchedule, KillEvent
+from repro.simmpi.group import Group
+from repro.simmpi.message import Envelope
+from repro.simmpi.op import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
+from repro.simmpi.request import Request, waitall, waitany
+from repro.simmpi.simulator import RankContext, SimConfig, SimResult, Simulator, run_simple
+from repro.simmpi.status import Status
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "TAG_CONTROL",
+    "BAND",
+    "BOR",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MAXLOC",
+    "MIN",
+    "MINLOC",
+    "PROD",
+    "SUM",
+    "Comm",
+    "CostModel",
+    "Envelope",
+    "FailureSchedule",
+    "Group",
+    "HeartbeatFailureDetector",
+    "KillEvent",
+    "Op",
+    "RankContext",
+    "Request",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "Status",
+    "VirtualClock",
+    "run_simple",
+    "waitall",
+    "waitany",
+]

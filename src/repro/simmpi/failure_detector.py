@@ -1,0 +1,89 @@
+"""Heartbeat-based distributed failure detector.
+
+The paper assumes "a mechanism such as a distributed failure detector" for
+noticing dead processes (Section 1.1, citing Gupta/Chandra/Goldszmidt).  We
+model the standard eventually-perfect heartbeat detector: every process is
+expected to emit a heartbeat each ``heartbeat_interval`` of virtual time, and
+a process whose silence exceeds ``timeout`` is *suspected*.
+
+In the simulator, the scheduler plays the role of the heartbeat fabric: it
+reports activity for a rank whenever that rank runs or one of its messages is
+delivered, and it ticks the detector as virtual time advances.  Because
+injected faults are real inside the simulation (the rank truly stops), the
+detector's suspicions are always eventually accurate; the ``timeout`` adds
+the realistic *detection latency* between a fault and the global restart the
+recovery driver performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SuspectEvent:
+    """Rank ``rank`` became suspected at virtual time ``time``."""
+
+    rank: int
+    time: float
+    last_heard: float
+
+
+class HeartbeatFailureDetector:
+    """Tracks per-rank last-activity times and raises suspicions."""
+
+    def __init__(self, nprocs: int, timeout: float = 0.5, heartbeat_interval: float = 0.1) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if heartbeat_interval <= 0 or heartbeat_interval > timeout:
+            raise ValueError(
+                "heartbeat_interval must be in (0, timeout]; "
+                f"got {heartbeat_interval} vs timeout {timeout}"
+            )
+        self.nprocs = nprocs
+        self.timeout = timeout
+        self.heartbeat_interval = heartbeat_interval
+        self._last_heard = {r: 0.0 for r in range(nprocs)}
+        self._suspected: dict[int, SuspectEvent] = {}
+        self._completed: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+
+    def heard_from(self, rank: int, now: float) -> None:
+        """Record liveness evidence for ``rank`` at time ``now``."""
+        if rank in self._suspected:
+            # A stopping fault never recovers in this model; evidence after
+            # suspicion would indicate a simulator bug.
+            raise AssertionError(f"heard from suspected rank {rank}")
+        prev = self._last_heard.get(rank, 0.0)
+        if now > prev:
+            self._last_heard[rank] = now
+
+    def mark_completed(self, rank: int) -> None:
+        """A rank that finished its program is exempt from suspicion."""
+        self._completed.add(rank)
+
+    def tick(self, now: float) -> list[SuspectEvent]:
+        """Advance detector time; returns newly suspected ranks."""
+        fresh: list[SuspectEvent] = []
+        for rank, last in self._last_heard.items():
+            if rank in self._suspected or rank in self._completed:
+                continue
+            if now - last >= self.timeout:
+                event = SuspectEvent(rank=rank, time=now, last_heard=last)
+                self._suspected[rank] = event
+                fresh.append(event)
+        return fresh
+
+    def suspected(self) -> tuple[int, ...]:
+        return tuple(sorted(self._suspected))
+
+    def is_suspected(self, rank: int) -> bool:
+        return rank in self._suspected
+
+    def detection_latency(self, rank: int, true_death_time: float) -> float | None:
+        """Observed latency between a death and its suspicion (for tests)."""
+        event = self._suspected.get(rank)
+        if event is None:
+            return None
+        return event.time - true_death_time

@@ -1,0 +1,89 @@
+"""Stopping-fault injection.
+
+The paper's fault model (Section 1.1): a faulty process hangs and stops
+responding — it neither sends nor receives.  Injection is expressed as a
+schedule of ``(virtual_time, rank)`` kill events, or as derived schedules
+(kill a random rank at a random time in a window, kill during checkpointing,
+etc.) built from a seeded RNG so adversarial tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigError
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class KillEvent:
+    """Kill ``rank`` at virtual time ``time``."""
+
+    time: float
+    rank: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"kill time must be >= 0, got {self.time}")
+        if self.rank < 0:
+            raise ConfigError(f"kill rank must be >= 0, got {self.rank}")
+
+
+class FailureSchedule:
+    """An ordered schedule of stopping faults consumed by the scheduler."""
+
+    def __init__(self, events: Iterable[KillEvent] = ()) -> None:
+        self._events = sorted(events, key=lambda e: (e.time, e.rank))
+        self._cursor = 0
+
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        return cls(())
+
+    @classmethod
+    def single(cls, time: float, rank: int) -> "FailureSchedule":
+        return cls((KillEvent(time, rank),))
+
+    @classmethod
+    def random_single(
+        cls, master_seed: int, nprocs: int, window: tuple[float, float]
+    ) -> "FailureSchedule":
+        """One kill of a uniformly random rank at a uniform time in ``window``."""
+        lo, hi = window
+        if hi <= lo:
+            raise ConfigError(f"empty failure window {window}")
+        rng = RngStream(master_seed, "failure-injection")
+        time = lo + rng.random() * (hi - lo)
+        rank = rng.integers(nprocs)
+        return cls((KillEvent(time, rank),))
+
+    def next_time(self) -> float | None:
+        """Virtual time of the next pending kill, or None when exhausted."""
+        if self._cursor < len(self._events):
+            return self._events[self._cursor].time
+        return None
+
+    def due(self, now: float) -> list[KillEvent]:
+        """Pop every kill event whose time has arrived."""
+        out: list[KillEvent] = []
+        while self._cursor < len(self._events) and self._events[self._cursor].time <= now:
+            out.append(self._events[self._cursor])
+            self._cursor += 1
+        return out
+
+    def remaining(self) -> list[KillEvent]:
+        return list(self._events[self._cursor:])
+
+    def reset(self) -> None:
+        """Rewind the schedule (a fresh simulator run replays it)."""
+        self._cursor = 0
+
+    def shifted(self, dt: float) -> "FailureSchedule":
+        """A copy with every event time shifted by ``dt`` (clamped at 0)."""
+        return FailureSchedule(
+            KillEvent(max(0.0, e.time + dt), e.rank) for e in self._events
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)

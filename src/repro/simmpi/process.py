@@ -1,0 +1,79 @@
+"""Simulated rank processes.
+
+Each rank runs its application function on a dedicated Python thread, but the
+scheduler guarantees **exactly one** rank thread executes at any moment
+(baton-passing over a single condition variable).  This gives every rank a
+real Python call stack — which the precompiler's checkpoint runtime walks
+with ``sys._getframe`` — while keeping execution fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.simmpi.mailbox import Mailbox, RecvDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.simulator import Simulator
+
+
+class ProcState(enum.Enum):
+    NEW = "new"            # thread not yet granted its first slice
+    RUNNABLE = "runnable"  # ready to run
+    BLOCKED = "blocked"    # waiting on a receive (or explicit wait)
+    DONE = "done"          # main returned normally
+    DEAD = "dead"          # stopping fault injected
+    ERRORED = "errored"    # main raised an application exception
+
+
+class BlockInfo:
+    """Why a rank is blocked (for deadlock diagnostics)."""
+
+    def __init__(self, kind: str, desc: Optional[RecvDescriptor] = None, detail: str = ""):
+        self.kind = kind
+        self.desc = desc
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        if self.desc is not None:
+            return (
+                f"{self.kind}(source={self.desc.source}, tag={self.desc.tag}, "
+                f"ctx={self.desc.context})"
+            )
+        return f"{self.kind}({self.detail})"
+
+
+class Proc:
+    """One simulated rank: thread, mailbox, and scheduling state."""
+
+    def __init__(self, sim: "Simulator", rank: int, main: Callable[..., Any]) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.main = main
+        self.state = ProcState.NEW
+        self.mailbox = Mailbox(rank)
+        self.thread: Optional[threading.Thread] = None
+        self.kill_flag = False
+        self.block_info: Optional[BlockInfo] = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        #: Number of scheduling slices this rank has received.
+        self.slices = 0
+        #: Wall-clock seconds this rank spent running (real work measurement).
+        self.wall_seconds = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcState.DONE, ProcState.DEAD, ProcState.ERRORED)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (ProcState.DONE, ProcState.DEAD, ProcState.ERRORED)
+
+    def describe(self) -> str:
+        base = f"rank {self.rank}: {self.state.value}"
+        if self.state is ProcState.BLOCKED and self.block_info is not None:
+            base += f" on {self.block_info!r}"
+        return base

@@ -1,0 +1,174 @@
+"""Deterministic cooperative scheduler.
+
+Design
+------
+All rank threads plus the scheduler share one condition variable and one
+``running`` token.  A rank runs only while ``running == its rank``; the
+scheduler runs only while ``running == SCHED``.  Control transfers are
+explicit (``_switch_to_scheduler`` / ``_grant``), so the interleaving of
+ranks is fully determined by the scheduler's policy and seed — a requirement
+for reproducing protocol bugs found by randomised testing.
+
+Scheduling points occur at every simulated MPI call (and anywhere the
+application calls ``yield_point`` explicitly).  Between scheduling points a
+rank runs uninterrupted, which models the paper's single-threaded C/MPI
+processes faithfully.
+
+Policies
+--------
+``random``
+    Pick uniformly among runnable ranks (seeded).  Default; maximises
+    interleaving diversity for protocol testing.
+``round_robin``
+    Cycle through runnable ranks in rank order; useful for debugging.
+
+Stopping faults are realised here: a due kill sets the victim's ``kill_flag``
+and the victim raises :class:`~repro.errors.ProcessKilled` at its next
+scheduling point (or immediately when woken from a blocked state), after
+which it never runs again.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigError, DeadlockError, ProcessKilled
+from repro.simmpi.mailbox import RecvDescriptor
+from repro.simmpi.process import BlockInfo, Proc, ProcState
+from repro.util.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.simulator import Simulator
+
+#: Token meaning "the scheduler holds the baton".
+SCHED = -1
+
+POLICIES = ("random", "round_robin")
+
+
+class Scheduler:
+    """Baton-passing scheduler over the simulation's rank threads."""
+
+    def __init__(self, sim: "Simulator", seed: int, policy: str = "random") -> None:
+        if policy not in POLICIES:
+            raise ConfigError(f"unknown scheduling policy {policy!r}; expected {POLICIES}")
+        self.sim = sim
+        self.policy = policy
+        self.rng = RngStream(seed, "scheduler")
+        self._cv = threading.Condition()
+        self._running = SCHED
+        self._rr_cursor = 0
+        #: Total scheduling slices granted (observability).
+        self.total_slices = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Rank-thread side.
+    # ------------------------------------------------------------------ #
+
+    def yield_point(self, proc: Proc) -> None:
+        """Voluntary scheduling point for a running rank."""
+        self._check_kill(proc)
+        proc.state = ProcState.RUNNABLE
+        self._switch_to_scheduler(proc)
+
+    def block(self, proc: Proc, info: BlockInfo) -> None:
+        """Block the calling rank; returns when the scheduler re-grants it.
+
+        The caller must re-check its wake condition in a loop: the scheduler
+        wakes blocked ranks whenever a message is delivered to them, which
+        may be a spurious wake for this particular descriptor.
+        """
+        self._check_kill(proc)
+        proc.state = ProcState.BLOCKED
+        proc.block_info = info
+        self._switch_to_scheduler(proc)
+        proc.block_info = None
+
+    def block_on_recv(self, proc: Proc, desc: RecvDescriptor) -> None:
+        """Block until ``desc`` has been matched (or the rank is killed)."""
+        while desc.matched is None:
+            self.block(proc, BlockInfo("recv", desc))
+
+    def _switch_to_scheduler(self, proc: Proc) -> None:
+        with self._cv:
+            self._running = SCHED
+            self._cv.notify_all()
+            while self._running != proc.rank:
+                self._cv.wait()
+        self._check_kill(proc)
+
+    def _check_kill(self, proc: Proc) -> None:
+        if proc.kill_flag:
+            proc.kill_flag = False
+            raise ProcessKilled(proc.rank, self.sim.clock.now)
+
+    def finish(self, proc: Proc) -> None:
+        """Called by a rank thread as its very last act: hand back the baton."""
+        with self._cv:
+            self._running = SCHED
+            self._cv.notify_all()
+
+    def wait_first_grant(self, proc: Proc) -> None:
+        """Entry gate: a new thread parks here until its first slice."""
+        with self._cv:
+            while self._running != proc.rank:
+                self._cv.wait()
+        self._check_kill(proc)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler side (runs on the thread that called Simulator.run).
+    # ------------------------------------------------------------------ #
+
+    def grant(self, proc: Proc) -> None:
+        """Give ``proc`` one slice; returns when it hands the baton back."""
+        self.total_slices += 1
+        proc.slices += 1
+        # Every slice costs a scheduling step of virtual time; without this
+        # a busy-polling rank (e.g. an MPI_Test loop) would freeze the clock
+        # and in-flight messages would never come due.
+        self.sim.clock.charge(self.sim.clock.cost.step)
+        t0 = _time.perf_counter()
+        with self._cv:
+            self._running = proc.rank
+            self._cv.notify_all()
+            while self._running != SCHED:
+                self._cv.wait()
+        proc.wall_seconds += _time.perf_counter() - t0
+
+    def pick(self, runnable: list[Proc]) -> Proc:
+        """Choose the next rank to run according to the policy."""
+        if not runnable:
+            raise DeadlockError("pick() called with no runnable ranks")
+        if len(runnable) == 1:
+            return runnable[0]
+        if self.policy == "round_robin":
+            ranks = sorted(p.rank for p in runnable)
+            for r in ranks:
+                if r >= self._rr_cursor:
+                    chosen = r
+                    break
+            else:
+                chosen = ranks[0]
+            self._rr_cursor = chosen + 1
+            return next(p for p in runnable if p.rank == chosen)
+        return self.rng.choice(sorted(runnable, key=lambda p: p.rank))
+
+    def wake(self, proc: Proc) -> None:
+        """Make a blocked rank runnable (a message arrived, or teardown)."""
+        if proc.state is ProcState.BLOCKED:
+            proc.state = ProcState.RUNNABLE
+
+    def request_kill(self, proc: Proc) -> None:
+        """Arrange for ``proc`` to die at its next scheduling opportunity."""
+        if proc.finished:
+            return
+        proc.kill_flag = True
+        if proc.state is ProcState.BLOCKED:
+            proc.state = ProcState.RUNNABLE
+
+    def describe_blocked(self, procs: list[Proc]) -> str:
+        lines = [p.describe() for p in procs if p.state is ProcState.BLOCKED]
+        return "; ".join(lines) if lines else "(no blocked ranks)"

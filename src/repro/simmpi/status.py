@@ -1,0 +1,20 @@
+"""Receive status objects (the MPI_Status analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simmpi.message import Envelope
+
+
+@dataclass(frozen=True)
+class Status:
+    """Metadata about a completed receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    @classmethod
+    def from_envelope(cls, env: Envelope) -> "Status":
+        return cls(source=env.source, tag=env.tag, nbytes=env.nbytes)

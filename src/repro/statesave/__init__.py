@@ -1,0 +1,14 @@
+"""Application and library state saving (paper Section 5)."""
+
+from repro.statesave.format import CheckpointData
+from repro.statesave.globals_registry import GlobalsRegistry
+from repro.statesave.heap import ManagedHeap
+from repro.statesave.storage import CommitRecord, Storage
+
+__all__ = [
+    "CheckpointData",
+    "CommitRecord",
+    "GlobalsRegistry",
+    "ManagedHeap",
+    "Storage",
+]

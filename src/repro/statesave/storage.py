@@ -1,0 +1,172 @@
+"""Stable storage for checkpoints.
+
+Layout on disk::
+
+    <root>/
+        rank<r>/epoch<e>.state   -- CheckpointData, framed+CRC
+        rank<r>/epoch<e>.log     -- EpochLogs, framed+CRC (written later,
+                                    at finalizeLog)
+        COMMIT                   -- commit record naming the recovery epoch
+
+Commit discipline (paper Section 4.1, phase 4): the initiator writes the
+commit record only after every process has reported ``stoppedLogging`` — so
+a committed epoch is guaranteed to have both the state and the log of every
+rank on disk.  Recovery always starts from ``committed_epoch()``; a crash
+mid-wave leaves partial ``epoch e+1`` files that are simply ignored (and
+garbage-collected by :meth:`Storage.gc`).
+
+An in-memory backend (`Storage(path=None)`) supports fast tests and
+benchmarks; the filesystem backend performs atomic writes (tmp + fsync +
+rename) so a torn write can never masquerade as a checkpoint.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import StorageError
+from repro.util.serialization import atomic_write_bytes, dumps_framed, loads_framed
+
+
+@dataclass
+class CommitRecord:
+    """Names the global checkpoint to be used for recovery."""
+
+    epoch: int
+    committed_at: float
+    wall_time: float
+
+
+class Storage:
+    """Checkpoint store; filesystem-backed or in-memory."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._mem: dict[str, bytes] = {}
+        #: Cumulative bytes written (benchmark observability).
+        self.bytes_written = 0
+        self.writes = 0
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Raw keyed blob IO.
+    # ------------------------------------------------------------------ #
+
+    def _key(self, rank: int, epoch: int, part: str) -> str:
+        return os.path.join(f"rank{rank}", f"epoch{epoch}.{part}")
+
+    def _write(self, key: str, obj: Any) -> None:
+        blob = dumps_framed(obj)
+        self.bytes_written += len(blob)
+        self.writes += 1
+        if self.path is None:
+            self._mem[key] = blob
+        else:
+            atomic_write_bytes(os.path.join(self.path, key), blob)
+
+    def _read(self, key: str) -> Any:
+        if self.path is None:
+            blob = self._mem.get(key)
+            if blob is None:
+                raise StorageError(f"missing stable-storage object {key!r}")
+            return loads_framed(blob)
+        full = os.path.join(self.path, key)
+        if not os.path.exists(full):
+            raise StorageError(f"missing stable-storage object {key!r}")
+        with open(full, "rb") as fh:
+            return loads_framed(fh.read())
+
+    def _exists(self, key: str) -> bool:
+        if self.path is None:
+            return key in self._mem
+        return os.path.exists(os.path.join(self.path, key))
+
+    def _delete(self, key: str) -> None:
+        if self.path is None:
+            self._mem.pop(key, None)
+        else:
+            full = os.path.join(self.path, key)
+            if os.path.exists(full):
+                os.unlink(full)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint API.
+    # ------------------------------------------------------------------ #
+
+    def write_state(self, rank: int, epoch: int, data: Any) -> None:
+        self._write(self._key(rank, epoch, "state"), data)
+
+    def write_log(self, rank: int, epoch: int, logs: Any) -> None:
+        self._write(self._key(rank, epoch, "log"), logs)
+
+    def read_state(self, rank: int, epoch: int) -> Any:
+        return self._read(self._key(rank, epoch, "state"))
+
+    def read_log(self, rank: int, epoch: int) -> Any:
+        return self._read(self._key(rank, epoch, "log"))
+
+    def has_complete_epoch(self, nprocs: int, epoch: int) -> bool:
+        """True if every rank's state *and* log for ``epoch`` is present."""
+        return all(
+            self._exists(self._key(r, epoch, "state"))
+            and self._exists(self._key(r, epoch, "log"))
+            for r in range(nprocs)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Commit record.
+    # ------------------------------------------------------------------ #
+
+    def commit(self, epoch: int, virtual_time: float) -> None:
+        record = CommitRecord(
+            epoch=epoch, committed_at=virtual_time, wall_time=time.time()
+        )
+        self._write("COMMIT", record)
+
+    def committed_epoch(self) -> Optional[int]:
+        """Epoch of the last committed global checkpoint, or None."""
+        if not self._exists("COMMIT"):
+            return None
+        record = self._read("COMMIT")
+        return record.epoch
+
+    def gc(self, nprocs: int, keep_epoch: int) -> int:
+        """Delete state/log files for epochs other than ``keep_epoch``.
+
+        Returns the number of objects removed.  Called after a commit; the
+        paper assumes only the latest committed checkpoint is retained.
+        """
+        removed = 0
+        if self.path is None:
+            for key in list(self._mem):
+                if key == "COMMIT":
+                    continue
+                epoch = int(key.rsplit("epoch", 1)[1].split(".")[0])
+                if epoch != keep_epoch:
+                    del self._mem[key]
+                    removed += 1
+            return removed
+        for rank in range(nprocs):
+            rank_dir = os.path.join(self.path, f"rank{rank}")
+            if not os.path.isdir(rank_dir):
+                continue
+            for name in os.listdir(rank_dir):
+                epoch = int(name.rsplit("epoch", 1)[1].split(".")[0])
+                if epoch != keep_epoch:
+                    os.unlink(os.path.join(rank_dir, name))
+                    removed += 1
+        return removed
+
+    def wipe(self) -> None:
+        """Remove everything (test helper)."""
+        if self.path is None:
+            self._mem.clear()
+            return
+        for root, _dirs, files in os.walk(self.path):
+            for name in files:
+                os.unlink(os.path.join(root, name))

@@ -1,0 +1,104 @@
+"""Benchmark harness and report rendering."""
+
+import pytest
+
+from repro.apps.laplace import LaplaceParams
+from repro.apps import laplace
+from repro.apps.workloads import (
+    ALL_CHARTS,
+    DENSE_CG_POINTS,
+    LAPLACE_POINTS,
+    NEUROSYS_POINTS,
+    WorkloadPoint,
+)
+from repro.bench import (
+    ChartResult,
+    VariantMeasurement,
+    measure_point,
+    render_chart,
+    render_overhead_table,
+    verify_variants_agree,
+)
+from repro.bench.harness import PointResult
+from repro.runtime import RunConfig, Variant
+
+
+def _m(variant, wall, ckpts=0):
+    return VariantMeasurement(
+        variant=variant, wall_seconds=wall, virtual_time=0.0,
+        network_messages=0, network_bytes=0, checkpoints_committed=ckpts,
+        storage_bytes=1024 * ckpts, checksum=1.0,
+    )
+
+
+@pytest.fixture()
+def synthetic_point():
+    point = WorkloadPoint("laplace", "64x64", "138KB", LaplaceParams(n=16))
+    result = PointResult(point=point)
+    result.measurements[Variant.UNMODIFIED] = _m(Variant.UNMODIFIED, 1.0)
+    result.measurements[Variant.PIGGYBACK] = _m(Variant.PIGGYBACK, 1.2)
+    result.measurements[Variant.NO_APP_STATE] = _m(Variant.NO_APP_STATE, 1.3, 3)
+    result.measurements[Variant.FULL] = _m(Variant.FULL, 1.5, 3)
+    return result
+
+
+class TestOverheadMath:
+    def test_overhead_pct(self, synthetic_point):
+        ov = synthetic_point.overheads()
+        assert ov[Variant.PIGGYBACK] == pytest.approx(20.0)
+        assert ov[Variant.FULL] == pytest.approx(50.0)
+
+    def test_baseline_excluded(self, synthetic_point):
+        assert Variant.UNMODIFIED not in synthetic_point.overheads()
+
+
+class TestRendering:
+    def test_render_chart(self, synthetic_point):
+        chart = ChartResult(app="laplace", points=[synthetic_point])
+        text = render_chart(chart)
+        assert "Laplace Solver" in text
+        assert "+20.0%" in text and "+50.0%" in text
+        assert "ckpts=3" in text
+
+    def test_render_overhead_table(self, synthetic_point):
+        chart = ChartResult(app="laplace", points=[synthetic_point])
+        table = render_overhead_table([chart])
+        assert "laplace" in table and "64x64" in table
+        assert "50.0" in table
+
+    def test_bytes_formatting(self):
+        from repro.bench.report import _fmt_bytes
+
+        assert _fmt_bytes(10) == "10B"
+        assert _fmt_bytes(4096) == "4.0KB"
+        assert _fmt_bytes(3 << 20) == "3.0MB"
+
+
+class TestWorkloadCatalogue:
+    def test_charts_cover_paper_sizes(self):
+        assert len(DENSE_CG_POINTS) == 3
+        assert len(LAPLACE_POINTS) == 3
+        assert len(NEUROSYS_POINTS) == 4
+        assert set(ALL_CHARTS) == {"dense_cg", "laplace", "neurosys"}
+
+    def test_labels_match_paper(self):
+        assert [p.label for p in DENSE_CG_POINTS] == [
+            "4096x4096", "8192x8192", "16384x16384"
+        ]
+        assert [p.paper_state for p in NEUROSYS_POINTS] == [
+            "18KB", "75KB", "308KB", "1.24MB"
+        ]
+
+
+class TestMeasurePoint:
+    def test_repeats_keep_minimum(self):
+        cfg = RunConfig(nprocs=2, seed=3, checkpoint_interval=0.005,
+                        detector_timeout=0.05)
+        point = WorkloadPoint("laplace", "tiny", "-",
+                              LaplaceParams(n=16, iterations=10))
+        result = measure_point(
+            laplace.build, point, cfg,
+            variants=(Variant.UNMODIFIED, Variant.FULL), repeats=2,
+        )
+        assert verify_variants_agree(result)
+        assert result.measurements[Variant.FULL].wall_seconds > 0

@@ -1,0 +1,152 @@
+"""Initiator state machine (paper Section 4.1 phases), tested in isolation."""
+
+import pytest
+
+from repro.protocol.control import PleaseCheckpoint, StopLogging
+from repro.protocol.initiator import Initiator, WavePhase
+
+
+class Harness:
+    """Fake control fabric recording everything the initiator sends."""
+
+    def __init__(self, nprocs=4, interval=10.0):
+        self.sent = []          # (message, dest)
+        self.commits = []       # (epoch, time)
+        self.now = 0.0
+        self.initiator = Initiator(
+            nprocs=nprocs,
+            interval=interval,
+            send_control=lambda msg, dest: self.sent.append((msg, dest)),
+            commit=lambda epoch, t: self.commits.append((epoch, t)),
+            now=lambda: self.now,
+        )
+
+
+class TestWaveLifecycle:
+    def test_initiate_broadcasts_please_checkpoint(self):
+        h = Harness()
+        h.initiator.initiate(current_epoch=0)
+        assert h.initiator.phase is WavePhase.COLLECTING_READY
+        assert h.initiator.target_epoch == 1
+        please = [m for m, _ in h.sent if isinstance(m, PleaseCheckpoint)]
+        assert len(please) == 4
+        assert all(m.epoch == 1 for m in please)
+
+    def test_all_ready_triggers_stop_logging(self):
+        h = Harness()
+        h.initiator.initiate(0)
+        h.sent.clear()
+        for rank in range(4):
+            h.initiator.on_ready(rank, epoch=1)
+        stops = [m for m, _ in h.sent if isinstance(m, StopLogging)]
+        assert len(stops) == 4
+        assert h.initiator.phase is WavePhase.COLLECTING_STOPPED
+
+    def test_partial_ready_does_not_stop(self):
+        h = Harness()
+        h.initiator.initiate(0)
+        h.sent.clear()
+        for rank in range(3):
+            h.initiator.on_ready(rank, epoch=1)
+        assert h.sent == []
+
+    def test_all_stopped_commits(self):
+        h = Harness()
+        h.initiator.initiate(0)
+        for rank in range(4):
+            h.initiator.on_ready(rank, epoch=1)
+        h.now = 5.0
+        for rank in range(4):
+            h.initiator.on_stopped(rank, epoch=1)
+        assert h.commits == [(1, 5.0)]
+        assert h.initiator.phase is WavePhase.IDLE
+        assert h.initiator.last_commit_time == 5.0
+
+    def test_early_stopped_before_stop_logging(self):
+        """Phase 4 condition (ii): stoppedLogging may precede stopLogging."""
+        h = Harness()
+        h.initiator.initiate(0)
+        h.initiator.on_stopped(2, epoch=1)  # early terminator
+        for rank in range(4):
+            h.initiator.on_ready(rank, epoch=1)
+        for rank in (0, 1, 3):
+            h.initiator.on_stopped(rank, epoch=1)
+        assert len(h.commits) == 1
+
+    def test_stale_tokens_ignored(self):
+        h = Harness()
+        h.initiator.initiate(0)
+        h.initiator.on_ready(0, epoch=99)
+        assert h.initiator.ready == set()
+        h.initiator.on_stopped(0, epoch=0)
+        assert h.initiator.stopped == set()
+
+    def test_wave_stats_recorded(self):
+        h = Harness()
+        h.now = 1.0
+        h.initiator.initiate(0)
+        h.now = 2.0
+        for rank in range(4):
+            h.initiator.on_ready(rank, epoch=1)
+        h.now = 3.0
+        for rank in range(4):
+            h.initiator.on_stopped(rank, epoch=1)
+        (wave,) = h.initiator.completed_waves
+        assert wave.epoch == 1
+        assert wave.initiated_at == 1.0
+        assert wave.committed_at == 3.0
+        assert wave.duration == pytest.approx(2.0)
+
+
+class TestPolling:
+    def test_poll_respects_interval(self):
+        h = Harness(interval=10.0)
+        h.now = 5.0
+        h.initiator.poll(current_epoch=0)
+        assert h.initiator.phase is WavePhase.IDLE
+        h.now = 10.0
+        h.initiator.poll(current_epoch=0)
+        assert h.initiator.phase is WavePhase.COLLECTING_READY
+
+    def test_poll_never_overlaps_waves(self):
+        h = Harness(interval=1.0)
+        h.now = 100.0
+        h.initiator.poll(0)
+        sent_before = len(h.sent)
+        h.now = 200.0
+        h.initiator.poll(0)  # wave still collecting: no second initiation
+        assert len(h.sent) == sent_before
+
+    def test_interval_none_never_fires(self):
+        h = Harness(interval=None)
+        h.now = 1e9
+        h.initiator.poll(0)
+        assert h.initiator.phase is WavePhase.IDLE
+
+    def test_force_initiate(self):
+        h = Harness(interval=None)
+        h.initiator.force_initiate = True
+        h.initiator.poll(0)
+        assert h.initiator.phase is WavePhase.COLLECTING_READY
+
+
+class TestRecoveryQuiescence:
+    def test_waves_blocked_until_replay_done(self):
+        h = Harness(interval=1.0)
+        h.initiator.begin_recovery({0, 1, 2, 3})
+        h.now = 100.0
+        h.initiator.poll(5)
+        assert h.initiator.phase is WavePhase.IDLE
+        for rank in range(4):
+            h.initiator.on_replay_done(rank)
+        h.initiator.poll(5)
+        assert h.initiator.phase is WavePhase.COLLECTING_READY
+        assert h.initiator.target_epoch == 6
+
+    def test_begin_recovery_resets_wave_state(self):
+        h = Harness()
+        h.initiator.initiate(0)
+        h.initiator.on_ready(1, epoch=1)
+        h.initiator.begin_recovery({0, 1, 2, 3})
+        assert h.initiator.phase is WavePhase.IDLE
+        assert h.initiator.ready == set()

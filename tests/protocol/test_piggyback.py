@@ -1,0 +1,107 @@
+"""Piggyback codecs: round-trips and full-vs-packed equivalence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PiggybackError
+from repro.protocol.classify import (
+    MessageClass,
+    classify_by_color,
+    classify_by_epoch,
+)
+from repro.protocol.piggyback import FullCodec, PackedCodec, get_codec
+
+
+class TestFullCodec:
+    def test_roundtrip(self):
+        codec = FullCodec()
+        wire = codec.encode(5, True, 123)
+        info = codec.decode(wire, receiver_epoch=5)
+        assert (info.epoch, info.am_logging, info.message_id) == (5, True, 123)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PiggybackError):
+            FullCodec().encode(-1, False, 0)
+
+    def test_overhead_constant(self):
+        assert FullCodec().overhead_bytes == 12
+
+
+class TestPackedCodec:
+    def test_single_int_wire(self):
+        codec = PackedCodec()
+        wire = codec.encode(4, False, 77)
+        assert isinstance(wire, int)
+        assert 0 <= wire < (1 << 32)
+
+    def test_overhead_constant(self):
+        assert PackedCodec().overhead_bytes == 4
+
+    def test_same_epoch_decodes_exactly(self):
+        codec = PackedCodec()
+        info = codec.decode(codec.encode(6, True, 9), receiver_epoch=6)
+        assert info.epoch == 6
+        assert info.am_logging is True
+        assert info.message_id == 9
+
+    def test_adjacent_epoch_color(self):
+        codec = PackedCodec()
+        # Sender one epoch behind: different color.
+        info = codec.decode(codec.encode(5, True, 0), receiver_epoch=6)
+        assert info.color == 1
+        assert info.epoch in (5, 7)
+
+
+class TestFactory:
+    def test_get_codec(self):
+        assert isinstance(get_codec("full"), FullCodec)
+        assert isinstance(get_codec("packed"), PackedCodec)
+
+    def test_unknown(self):
+        with pytest.raises(PiggybackError):
+            get_codec("zipped")
+
+
+@given(
+    receiver_epoch=st.integers(0, 1000),
+    delta=st.sampled_from([-1, 0, 1]),
+    logging=st.booleans(),
+    mid=st.integers(0, (1 << 30) - 1),
+)
+def test_packed_classification_equals_full(receiver_epoch, delta, logging, mid):
+    """The paper's color optimisation: classification from the color bit
+    must agree with classification from absolute epochs whenever the
+    protocol invariant |sender_epoch - receiver_epoch| <= 1 holds.
+
+    The receiver is logging exactly when a checkpoint wave can still have
+    stragglers; in that window the different-color case is 'late', and
+    outside it 'early' — mirroring classify_by_color's contract."""
+    sender_epoch = receiver_epoch + delta
+    if sender_epoch < 0:
+        return
+    expected = classify_by_epoch(sender_epoch, receiver_epoch)
+    # Determine the receiver logging flag consistently with the protocol:
+    # late messages only arrive while the receiver logs; early ones only
+    # while it does not.
+    if expected is MessageClass.LATE:
+        receiver_logging = True
+    elif expected is MessageClass.EARLY:
+        receiver_logging = False
+    else:
+        receiver_logging = logging  # intra-epoch: either way
+    got = classify_by_color(sender_epoch & 1, receiver_epoch, receiver_logging)
+    assert got == expected
+
+
+@given(
+    epoch=st.integers(0, 10_000),
+    logging=st.booleans(),
+    mid=st.integers(0, (1 << 30) - 1),
+)
+def test_packed_roundtrip_same_epoch(epoch, logging, mid):
+    codec = PackedCodec()
+    info = codec.decode(codec.encode(epoch, logging, mid), receiver_epoch=epoch)
+    assert info.epoch == epoch
+    assert info.am_logging == logging
+    assert info.message_id == mid

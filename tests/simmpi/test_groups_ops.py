@@ -1,0 +1,131 @@
+"""Groups, reduction ops, clock, and datatype size accounting."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SimMPIError
+from repro.simmpi.clock import CostModel, VirtualClock
+from repro.simmpi.datatypes import sizeof
+from repro.simmpi.group import Group
+from repro.simmpi.op import MAX, MAXLOC, MINLOC, SUM, Op, reduce_sequence
+
+
+class TestGroup:
+    def test_world(self):
+        g = Group.world(4)
+        assert g.size == 4
+        assert g.members == (0, 1, 2, 3)
+
+    def test_rank_translation(self):
+        g = Group((5, 2, 7))
+        assert g.rank_of(2) == 1
+        assert g.world_rank(2) == 7
+        assert g.contains(5) and not g.contains(0)
+
+    def test_subset(self):
+        g = Group((5, 2, 7)).subset([0, 2])
+        assert g.members == (5, 7)
+
+    def test_translate_between_groups(self):
+        a = Group((0, 1, 2, 3))
+        b = Group((2, 3))
+        assert a.translate(b, 2) == 0
+        assert a.translate(b, 0) is None
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SimMPIError):
+            Group((1, 1))
+
+    def test_out_of_range(self):
+        with pytest.raises(SimMPIError):
+            Group((0, 1)).world_rank(5)
+
+
+class TestOps:
+    def test_scalar_sum(self):
+        assert SUM(2, 3) == 5
+
+    def test_array_elementwise(self):
+        out = MAX(np.array([1, 5]), np.array([4, 2]))
+        assert out.tolist() == [4, 5]
+
+    def test_maxloc_minloc(self):
+        assert MAXLOC((3.0, 0), (5.0, 1)) == (5.0, 1)
+        assert MAXLOC((5.0, 2), (5.0, 1)) == (5.0, 1)  # ties: lowest index
+        assert MINLOC((3.0, 0), (5.0, 1)) == (3.0, 0)
+
+    def test_reduce_sequence_order(self):
+        op = Op.create("CONCAT-test", lambda a, b: a + b, commutative=False)
+        assert reduce_sequence(op, ["a", "b", "c"]) == "abc"
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(SimMPIError):
+            reduce_sequence(SUM, [])
+
+    def test_op_pickles_by_name(self):
+        restored = pickle.loads(pickle.dumps(SUM))
+        assert restored is SUM
+
+    def test_user_op_pickle_roundtrip(self):
+        op = Op.create("user-xor-test", lambda a, b: a ^ b)
+        assert pickle.loads(pickle.dumps(op)) is op
+
+    def test_unknown_op_lookup(self):
+        with pytest.raises(SimMPIError):
+            Op.lookup("never-registered")
+
+
+class TestClock:
+    def test_charge_accumulates(self):
+        clock = VirtualClock()
+        clock.charge(1.0)
+        clock.charge(0.5)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge(-1)
+
+    def test_advance_never_backwards(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        clock.advance_to(1.0)
+        assert clock.now == 2.0
+
+    def test_cost_model(self):
+        cm = CostModel(alpha=1e-6, beta=1e-9, flop=1e-9)
+        assert cm.message_cost(1000) == pytest.approx(2e-6)
+        assert cm.compute_cost(1e6) == pytest.approx(1e-3)
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (None, 0),
+            (True, 1),
+            (7, 8),
+            (3.14, 8),
+            (1 + 2j, 16),
+            (b"abcd", 4),
+            ("héllo", 6),
+        ],
+    )
+    def test_scalars(self, payload, expected):
+        assert sizeof(payload) == expected
+
+    def test_ndarray_exact(self):
+        assert sizeof(np.zeros((10, 10))) == 800
+
+    def test_containers_scale(self):
+        small = sizeof([1.0] * 4)
+        large = sizeof([1.0] * 400)
+        assert large > small * 50
+
+    def test_arbitrary_object_falls_back_to_pickle(self):
+        class Thing:
+            pass
+
+        assert sizeof(Thing()) > 0

@@ -1,0 +1,135 @@
+"""Unit tests for the MPI matching engine."""
+
+import pytest
+
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
+from repro.simmpi.mailbox import Mailbox, RecvDescriptor
+from repro.simmpi.message import Envelope
+
+
+def env(source=0, dest=1, tag=0, context=0, payload="x", piggyback=None):
+    return Envelope(source=source, dest=dest, tag=tag, context=context,
+                    payload=payload, piggyback=piggyback)
+
+
+class TestDeliverThenPost:
+    def test_unexpected_then_matched(self):
+        mb = Mailbox(1)
+        assert mb.deliver(env(payload="a")) is None
+        desc = mb.post(RecvDescriptor(0, 0, 0))
+        assert desc.matched is not None
+        assert desc.matched.payload == "a"
+        assert mb.pending_unexpected() == 0
+
+    def test_unexpected_fifo_order(self):
+        mb = Mailbox(1)
+        mb.deliver(env(payload="first"))
+        mb.deliver(env(payload="second"))
+        d1 = mb.post(RecvDescriptor(0, 0, 0))
+        d2 = mb.post(RecvDescriptor(0, 0, 0))
+        assert d1.matched.payload == "first"
+        assert d2.matched.payload == "second"
+
+
+class TestPostThenDeliver:
+    def test_posted_receive_completed_on_arrival(self):
+        mb = Mailbox(1)
+        desc = mb.post(RecvDescriptor(0, 5, 0))
+        assert desc.matched is None
+        completed = mb.deliver(env(tag=5))
+        assert completed is desc
+
+    def test_post_order_priority(self):
+        """A message matches the earliest-posted compatible receive."""
+        mb = Mailbox(1)
+        d1 = mb.post(RecvDescriptor(ANY_SOURCE, ANY_TAG, 0))
+        d2 = mb.post(RecvDescriptor(0, 0, 0))
+        completed = mb.deliver(env())
+        assert completed is d1
+        assert d2.matched is None
+
+
+class TestWildcards:
+    def test_any_source(self):
+        mb = Mailbox(1)
+        mb.deliver(env(source=3))
+        desc = mb.post(RecvDescriptor(ANY_SOURCE, 0, 0))
+        assert desc.matched.source == 3
+
+    def test_any_tag(self):
+        mb = Mailbox(1)
+        mb.deliver(env(tag=42))
+        desc = mb.post(RecvDescriptor(0, ANY_TAG, 0))
+        assert desc.matched.tag == 42
+
+    def test_specific_source_excludes_others(self):
+        mb = Mailbox(1)
+        mb.deliver(env(source=2))
+        desc = mb.post(RecvDescriptor(3, ANY_TAG, 0))
+        assert desc.matched is None
+        assert mb.pending_unexpected() == 1
+
+
+class TestContextIsolation:
+    def test_context_mismatch_never_matches(self):
+        mb = Mailbox(1)
+        mb.deliver(env(context=7))
+        desc = mb.post(RecvDescriptor(0, 0, context=8))
+        assert desc.matched is None
+
+
+class TestPredicates:
+    def test_predicate_filters(self):
+        """The recovery engine waits for a specific messageID this way."""
+        mb = Mailbox(1)
+        mb.deliver(env(payload="no", piggyback=1))
+        mb.deliver(env(payload="yes", piggyback=2))
+        desc = mb.post(RecvDescriptor(0, 0, 0, predicate=lambda e: e.piggyback == 2))
+        assert desc.matched.payload == "yes"
+        assert mb.pending_unexpected() == 1
+
+    def test_predicate_on_delivery(self):
+        mb = Mailbox(1)
+        desc = mb.post(RecvDescriptor(0, 0, 0, predicate=lambda e: e.piggyback == 9))
+        assert mb.deliver(env(piggyback=3)) is None
+        assert mb.deliver(env(piggyback=9)) is desc
+
+
+class TestTakeAndProbe:
+    def test_take_nonblocking(self):
+        mb = Mailbox(1)
+        assert mb.take(tag=4) is None
+        mb.deliver(env(tag=4))
+        taken = mb.take(tag=4)
+        assert taken is not None and taken.tag == 4
+        assert mb.take(tag=4) is None
+
+    def test_probe_does_not_consume(self):
+        mb = Mailbox(1)
+        mb.deliver(env())
+        assert mb.probe() is not None
+        assert mb.pending_unexpected() == 1
+
+
+class TestCancel:
+    def test_cancel_posted(self):
+        mb = Mailbox(1)
+        desc = mb.post(RecvDescriptor(0, 0, 0))
+        assert mb.cancel(desc) is True
+        assert mb.deliver(env()) is None  # cancelled receive cannot match
+
+    def test_cancel_matched_returns_false(self):
+        mb = Mailbox(1)
+        mb.deliver(env())
+        desc = mb.post(RecvDescriptor(0, 0, 0))
+        assert mb.cancel(desc) is False
+
+
+class TestClear:
+    def test_clear_drops_everything(self):
+        mb = Mailbox(1)
+        mb.deliver(env())
+        desc = mb.post(RecvDescriptor(9, 9, 0))
+        mb.clear()
+        assert mb.pending_unexpected() == 0
+        assert desc.cancelled

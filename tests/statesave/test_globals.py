@@ -1,0 +1,66 @@
+"""Globals registry tests (uses this test module as the target module)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.statesave.globals_registry import GlobalsRegistry
+
+# Module-level variables manipulated by the tests below.
+COUNTER = 0
+TABLE = {"a": 1}
+
+
+class TestRegistry:
+    def test_register_and_snapshot(self):
+        global COUNTER
+        reg = GlobalsRegistry()
+        reg.register(__name__, "COUNTER")
+        COUNTER = 7
+        snap = reg.snapshot()
+        assert snap[(__name__, "COUNTER")] == 7
+
+    def test_restore_writes_back(self):
+        global COUNTER
+        reg = GlobalsRegistry()
+        reg.register(__name__, "COUNTER")
+        COUNTER = 3
+        snap = reg.snapshot()
+        COUNTER = 99
+        reg.restore(snap)
+        assert COUNTER == 3
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(CheckpointError):
+            GlobalsRegistry().register(__name__, "NO_SUCH_GLOBAL")
+
+    def test_register_idempotent(self):
+        reg = GlobalsRegistry()
+        reg.register(__name__, "COUNTER")
+        reg.register(__name__, "COUNTER")
+        assert len(reg.registered) == 1
+
+    def test_register_many(self):
+        reg = GlobalsRegistry()
+        reg.register_many(__name__, ["COUNTER", "TABLE"])
+        assert len(reg.registered) == 2
+
+    def test_snapshot_picklable(self):
+        global TABLE
+        reg = GlobalsRegistry()
+        reg.register(__name__, "TABLE")
+        TABLE = {"a": 2}
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        TABLE = {}
+        reg.restore(snap)
+        assert TABLE == {"a": 2}
+
+    def test_restore_registers_new_entries(self):
+        """Restoring on a fresh registry re-populates its entry list."""
+        reg = GlobalsRegistry()
+        reg.register(__name__, "COUNTER")
+        snap = reg.snapshot()
+        fresh = GlobalsRegistry()
+        fresh.restore(snap)
+        assert fresh.registered == reg.registered

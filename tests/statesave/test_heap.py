@@ -1,0 +1,110 @@
+"""Managed heap (HOS) tests: allocation discipline and aliasing."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HeapError
+from repro.statesave.heap import ManagedHeap
+
+
+class TestAllocation:
+    def test_alloc_and_get(self):
+        heap = ManagedHeap()
+        obj = heap.alloc("node", {"v": 1})
+        assert heap.get("node") is obj
+        assert "node" in heap
+
+    def test_alloc_array(self):
+        heap = ManagedHeap()
+        arr = heap.alloc_array("grid", (4, 4), fill=2.5)
+        assert arr.shape == (4, 4)
+        assert float(arr[0, 0]) == 2.5
+
+    def test_anonymous_names_unique(self):
+        heap = ManagedHeap()
+        heap.alloc(None, 1)
+        heap.alloc(None, 2)
+        assert heap.live_count == 2
+
+    def test_double_alloc_rejected(self):
+        heap = ManagedHeap()
+        heap.alloc("x", 1)
+        with pytest.raises(HeapError):
+            heap.alloc("x", 2)
+
+    def test_free(self):
+        heap = ManagedHeap()
+        heap.alloc("x", 1)
+        heap.free("x")
+        assert "x" not in heap
+        assert heap.frees == 1
+
+    def test_double_free_rejected(self):
+        heap = ManagedHeap()
+        heap.alloc("x", 1)
+        heap.free("x")
+        with pytest.raises(HeapError):
+            heap.free("x")
+
+    def test_get_missing_rejected(self):
+        with pytest.raises(HeapError):
+            ManagedHeap().get("ghost")
+
+    def test_total_bytes_counts_arrays(self):
+        heap = ManagedHeap()
+        heap.alloc_array("a", (100,))
+        assert heap.total_bytes() >= 800
+
+
+class TestAliasing:
+    def test_pointer_validity_across_restore(self):
+        """The paper's Section 5.1.4 guarantee, Python form: references
+        from 'stack' data into heap objects stay valid after restore when
+        everything travels in one pickle."""
+        heap = ManagedHeap()
+        grid = heap.alloc_array("grid", (3,))
+        stack_frame = {"alias": grid}
+        blob = pickle.dumps({"heap": heap.snapshot(), "frame": stack_frame})
+        restored = pickle.loads(blob)
+        new_heap = ManagedHeap()
+        new_heap.restore(restored["heap"])
+        assert restored["frame"]["alias"] is new_heap.get("grid")
+        new_heap.get("grid")[0] = 42.0
+        assert restored["frame"]["alias"][0] == 42.0
+
+    def test_heap_to_heap_references(self):
+        heap = ManagedHeap()
+        a = heap.alloc("a", [1, 2])
+        heap.alloc("b", {"points_to": a})
+        blob = pickle.dumps(heap.snapshot())
+        new_heap = ManagedHeap()
+        new_heap.restore(pickle.loads(blob))
+        assert new_heap.get("b")["points_to"] is new_heap.get("a")
+
+    def test_anon_counter_restored(self):
+        heap = ManagedHeap()
+        heap.alloc(None, "x")
+        snap = pickle.loads(pickle.dumps(heap.snapshot()))
+        new_heap = ManagedHeap()
+        new_heap.restore(snap)
+        new_heap.alloc(None, "y")  # must not collide with restored anon name
+        assert new_heap.live_count == 2
+
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=60))
+def test_alloc_free_invariant(ops):
+    """live_count always equals allocations minus frees."""
+    heap = ManagedHeap()
+    live = []
+    for op in ops:
+        if op == "alloc" or not live:
+            live.append(heap.alloc(None, object()))
+        else:
+            name = next(iter(dict(heap.live_objects())))
+            heap.free(name)
+            live.pop()
+    assert heap.live_count == heap.allocations - heap.frees

@@ -1,0 +1,128 @@
+"""Stable storage: commit discipline, GC, corruption resistance."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.statesave.format import CheckpointData
+from repro.statesave.storage import Storage
+from repro.util.serialization import FrameCorruptError
+
+
+def ckpt(rank=0, epoch=1):
+    return CheckpointData(rank=rank, epoch=epoch, protocol={"epoch": epoch})
+
+
+@pytest.fixture(params=["memory", "disk"])
+def storage(request, tmp_path):
+    if request.param == "memory":
+        return Storage(None)
+    return Storage(str(tmp_path / "stable"))
+
+
+class TestBasicIO:
+    def test_state_roundtrip(self, storage):
+        storage.write_state(0, 1, ckpt())
+        data = storage.read_state(0, 1)
+        assert data.rank == 0 and data.epoch == 1
+
+    def test_log_roundtrip(self, storage):
+        storage.write_log(2, 3, {"late": []})
+        assert storage.read_log(2, 3) == {"late": []}
+
+    def test_missing_object_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.read_state(9, 9)
+
+    def test_bytes_accounted(self, storage):
+        storage.write_state(0, 1, ckpt())
+        assert storage.bytes_written > 0
+        assert storage.writes == 1
+
+
+class TestCommit:
+    def test_no_commit_initially(self, storage):
+        assert storage.committed_epoch() is None
+
+    def test_commit_roundtrip(self, storage):
+        storage.commit(4, 1.25)
+        assert storage.committed_epoch() == 4
+
+    def test_recommit_replaces(self, storage):
+        storage.commit(1, 0.0)
+        storage.commit(2, 1.0)
+        assert storage.committed_epoch() == 2
+
+    def test_has_complete_epoch(self, storage):
+        for rank in range(3):
+            storage.write_state(rank, 1, ckpt(rank))
+        assert not storage.has_complete_epoch(3, 1)  # logs missing
+        for rank in range(3):
+            storage.write_log(rank, 1, {})
+        assert storage.has_complete_epoch(3, 1)
+
+
+class TestGC:
+    def test_gc_removes_stale_epochs(self, storage):
+        for epoch in (1, 2, 3):
+            for rank in range(2):
+                storage.write_state(rank, epoch, ckpt(rank, epoch))
+                storage.write_log(rank, epoch, {})
+        removed = storage.gc(2, keep_epoch=3)
+        assert removed == 8
+        assert storage.has_complete_epoch(2, 3)
+        with pytest.raises(StorageError):
+            storage.read_state(0, 2)
+
+    def test_gc_keeps_commit_record(self, storage):
+        storage.commit(3, 0.0)
+        storage.write_state(0, 3, ckpt(0, 3))
+        storage.gc(1, keep_epoch=3)
+        assert storage.committed_epoch() == 3
+
+
+class TestCorruption:
+    def test_bitflip_detected_on_disk(self, tmp_path):
+        storage = Storage(str(tmp_path))
+        storage.write_state(0, 1, ckpt())
+        path = os.path.join(str(tmp_path), "rank0", "epoch1.state")
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(FrameCorruptError):
+            storage.read_state(0, 1)
+
+    def test_truncation_detected_on_disk(self, tmp_path):
+        storage = Storage(str(tmp_path))
+        storage.write_state(0, 1, ckpt())
+        path = os.path.join(str(tmp_path), "rank0", "epoch1.state")
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(FrameCorruptError):
+            storage.read_state(0, 1)
+
+    def test_overwrite_is_atomic_no_residue(self, tmp_path):
+        storage = Storage(str(tmp_path))
+        storage.write_state(0, 1, ckpt())
+        storage.write_state(0, 1, ckpt())
+        files = os.listdir(os.path.join(str(tmp_path), "rank0"))
+        assert files == ["epoch1.state"]
+
+
+class TestWipe:
+    def test_wipe(self, storage):
+        storage.write_state(0, 1, ckpt())
+        storage.commit(1, 0.0)
+        storage.wipe()
+        assert storage.committed_epoch() is None
+
+
+class TestCheckpointData:
+    def test_describe(self):
+        data = CheckpointData(
+            rank=1, epoch=2, protocol=None,
+            early_ids={0: [1, 2]}, app_state={"x": 1},
+        )
+        text = data.describe()
+        assert "rank=1" in text and "early=2" in text and "app=yes" in text
