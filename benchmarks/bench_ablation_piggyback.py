@@ -9,11 +9,9 @@ byte savings on the wire.
 
 import pytest
 
+from repro.api import Session
 from repro.protocol.piggyback import FullCodec, PackedCodec
-from repro.runtime.config import RunConfig
-from repro.runtime.driver import run_with_recovery
 from repro.simmpi import SUM
-from repro.statesave.storage import Storage
 
 from benchmarks.conftest import bench_config
 
@@ -51,9 +49,10 @@ def test_end_to_end_codec_cost(benchmark, codec):
 
     benchmark.group = "piggyback-end-to-end"
     cfg = replace(bench_config(), codec=codec)
+    session = Session()
 
     def run():
-        return run_with_recovery(chatty_app, cfg, storage=Storage(None))
+        return session.run(chatty_app, cfg)
 
     outcome = benchmark.pedantic(run, rounds=2, iterations=1)
     assert outcome.results[0] > 0
@@ -64,10 +63,10 @@ def test_packed_codec_saves_wire_bytes():
     from dataclasses import replace
 
     results = {}
+    session = Session()
     for codec in ("full", "packed"):
         cfg = replace(bench_config(), codec=codec)
-        outcome = run_with_recovery(chatty_app, cfg, storage=Storage(None))
-        results[codec] = outcome.network_bytes
+        results[codec] = session.run(chatty_app, cfg).network_bytes
     saved = results["full"] - results["packed"]
     assert saved > 0
     # ~8 bytes per instrumented application message.
@@ -78,7 +77,8 @@ def test_codec_equivalence_on_results():
     from dataclasses import replace
 
     outcomes = {}
+    session = Session()
     for codec in ("full", "packed"):
         cfg = replace(bench_config(), codec=codec)
-        outcomes[codec] = run_with_recovery(chatty_app, cfg, storage=Storage(None)).results
+        outcomes[codec] = session.run(chatty_app, cfg).results
     assert outcomes["full"] == outcomes["packed"]

@@ -28,11 +28,10 @@ SIZES = {
 def _run(params: CGParams, variant: Variant) -> None:
     from dataclasses import replace
 
-    from repro.runtime.driver import run_with_recovery
-    from repro.statesave.storage import Storage
+    from repro.api import Session
 
     cfg = replace(bench_config(), variant=variant)
-    outcome = run_with_recovery(dense_cg.build(params), cfg, storage=Storage(None))
+    outcome = Session().run("dense_cg", cfg, params=params)
     assert outcome.results[0]["max_error"] < 1e-6
 
 
@@ -52,7 +51,7 @@ def test_cg_state_size_drives_overhead():
     gaps = {}
     for label, n in (("small", 64), ("large", 192)):
         point = WorkloadPoint("dense_cg", label, "-", CGParams(n=n, iterations=25))
-        result = measure_point(dense_cg.build, point, cfg, repeats=2)
+        result = measure_point(dense_cg.SPEC, point, cfg, repeats=2)
         assert verify_variants_agree(result)
         ov = result.overheads()
         gaps[label] = ov[Variant.FULL] - ov[Variant.NO_APP_STATE]
@@ -70,7 +69,7 @@ def test_cg_storage_grows_with_state():
     for n in (64, 128):
         point = WorkloadPoint("dense_cg", str(n), "-", CGParams(n=n, iterations=25))
         result = measure_point(
-            dense_cg.build, point, cfg, variants=(Variant.UNMODIFIED, Variant.FULL)
+            dense_cg.SPEC, point, cfg, variants=(Variant.UNMODIFIED, Variant.FULL)
         )
         m = result.measurements[Variant.FULL]
         stored[n] = m.storage_bytes / max(1, m.checkpoints_committed)

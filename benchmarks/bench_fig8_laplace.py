@@ -29,11 +29,10 @@ SIZES = {
 def _run(params: LaplaceParams, variant: Variant) -> None:
     from dataclasses import replace
 
-    from repro.runtime.driver import run_with_recovery
-    from repro.statesave.storage import Storage
+    from repro.api import Session
 
     cfg = replace(bench_config(), variant=variant)
-    run_with_recovery(laplace.build(params), cfg, storage=Storage(None))
+    Session().run("laplace", cfg, params=params)
 
 
 @pytest.mark.parametrize("size", list(SIZES))
@@ -51,7 +50,7 @@ def test_laplace_overhead_small_and_flat():
     for n in (64, 128):
         point = WorkloadPoint("laplace", str(n), "-",
                               LaplaceParams(n=n, iterations=50))
-        result = measure_point(laplace.build, point, cfg, repeats=2)
+        result = measure_point(laplace.SPEC, point, cfg, repeats=2)
         assert verify_variants_agree(result)
         ov = result.overheads()
         # Full checkpoints cost at most modestly more than running the

@@ -28,11 +28,10 @@ SIZES = {
 def _run(params: NeurosysParams, variant: Variant) -> None:
     from dataclasses import replace
 
-    from repro.runtime.driver import run_with_recovery
-    from repro.statesave.storage import Storage
+    from repro.api import Session
 
     cfg = replace(bench_config(), variant=variant)
-    run_with_recovery(neurosys.build(params), cfg, storage=Storage(None))
+    Session().run("neurosys", cfg, params=params)
 
 
 @pytest.mark.parametrize("size", list(SIZES))
@@ -53,7 +52,7 @@ def test_neurosys_command_overhead_decays_with_size():
             NeurosysParams(grid=grid, iterations=25),
         )
         result = measure_point(
-            neurosys.build, point, cfg,
+            neurosys.SPEC, point, cfg,
             variants=(Variant.UNMODIFIED, Variant.PIGGYBACK),
             repeats=2,
         )
@@ -69,13 +68,13 @@ def test_neurosys_message_count_doubles_under_layer():
     data collective, so delivered message counts roughly double."""
     from dataclasses import replace
 
-    from repro.runtime.driver import run_with_recovery
-    from repro.statesave.storage import Storage
+    from repro.api import Session
 
+    session = Session()
     params = NeurosysParams(grid=4, iterations=10)
     cfg_piggy = replace(bench_config(), variant=Variant.PIGGYBACK)
     cfg_plain = replace(bench_config(), variant=Variant.UNMODIFIED)
-    with_layer = run_with_recovery(neurosys.build(params), cfg_piggy, storage=Storage(None))
-    plain = run_with_recovery(neurosys.build(params), cfg_plain, storage=Storage(None))
+    with_layer = session.run("neurosys", cfg_piggy, params=params)
+    plain = session.run("neurosys", cfg_plain, params=params)
     ratio = with_layer.network_messages / plain.network_messages
     assert ratio >= 1.7, f"expected ~2x messages, got {ratio:.2f}x"

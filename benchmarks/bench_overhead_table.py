@@ -20,21 +20,21 @@ from benchmarks.conftest import bench_config
 
 REDUCED = {
     "dense_cg": (
-        dense_cg.build,
+        dense_cg.SPEC,
         (
             WorkloadPoint("dense_cg", "small", "-", CGParams(n=64, iterations=25)),
             WorkloadPoint("dense_cg", "large", "-", CGParams(n=160, iterations=25)),
         ),
     ),
     "laplace": (
-        laplace.build,
+        laplace.SPEC,
         (
             WorkloadPoint("laplace", "small", "-", LaplaceParams(n=64, iterations=50)),
             WorkloadPoint("laplace", "large", "-", LaplaceParams(n=160, iterations=50)),
         ),
     ),
     "neurosys": (
-        neurosys.build,
+        neurosys.SPEC,
         (
             WorkloadPoint("neurosys", "small", "-", NeurosysParams(grid=4, iterations=25)),
             WorkloadPoint("neurosys", "large", "-", NeurosysParams(grid=16, iterations=25)),

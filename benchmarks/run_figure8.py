@@ -25,9 +25,9 @@ from repro.bench import measure_chart, render_chart, render_overhead_table, veri
 from repro.runtime import RunConfig
 
 CHARTS = (
-    ("dense_cg", dense_cg.build, DENSE_CG_POINTS),
-    ("laplace", laplace.build, LAPLACE_POINTS),
-    ("neurosys", neurosys.build, NEUROSYS_POINTS),
+    ("dense_cg", dense_cg.SPEC, DENSE_CG_POINTS),
+    ("laplace", laplace.SPEC, LAPLACE_POINTS),
+    ("neurosys", neurosys.SPEC, NEUROSYS_POINTS),
 )
 
 

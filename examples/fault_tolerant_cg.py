@@ -14,8 +14,8 @@ verifies the final solution against the analytic answer.
 Run:  python examples/fault_tolerant_cg.py
 """
 
-from repro.apps.dense_cg import CGParams, build
-from repro.runtime import RunConfig, run_with_recovery
+from repro import RunConfig, Session
+from repro.apps.dense_cg import CGParams
 from repro.simmpi import FailureSchedule, KillEvent
 
 
@@ -27,20 +27,22 @@ def main() -> None:
         checkpoint_interval=0.004,
         detector_timeout=0.05,
     )
-    app = build(params)
+    # Applications are registered by name; the session builds them on
+    # demand (here: the precompiled dense-CG unit at the given size).
+    session = Session()
 
     print(f"dense CG: n={params.n}, {params.iterations} iterations, "
           f"{config.nprocs} ranks")
     print(f"per-rank state ≈ {params.state_bytes(config.nprocs) / 1024:.0f} KB")
     print()
 
-    gold = run_with_recovery(app, config)
+    gold = session.run("dense_cg", config, params=params)
     print(f"failure-free: max|x - 1| = {gold.results[0]['max_error']:.2e}, "
           f"{gold.checkpoints_committed} checkpoint waves, "
           f"1 attempt")
 
     failures = FailureSchedule([KillEvent(0.006, 3), KillEvent(0.013, 0)])
-    outcome = run_with_recovery(app, config, failures=failures)
+    outcome = session.run("dense_cg", config, params=params, failures=failures)
     print(f"with 2 injected failures: {len(outcome.attempts)} attempts")
     for attempt in outcome.attempts:
         status = (

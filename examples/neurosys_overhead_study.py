@@ -12,14 +12,15 @@ sizes and prints the chart plus the overhead-decay series.
 Run:  python examples/neurosys_overhead_study.py
 """
 
+from repro import RunConfig, Session, Variant
 from repro.apps import neurosys
 from repro.apps.neurosys import NeurosysParams
 from repro.apps.workloads import WorkloadPoint
 from repro.bench import ChartResult, measure_point, render_chart
-from repro.runtime import RunConfig, Variant
 
 
 def main() -> None:
+    session = Session()
     config = RunConfig(
         nprocs=4, seed=11, checkpoint_interval=0.004, detector_timeout=0.05
     )
@@ -38,7 +39,8 @@ def main() -> None:
     decay = []
     for point in points:
         print(f"measuring {point.label} ...")
-        result = measure_point(neurosys.build, point, config, repeats=2)
+        result = measure_point(neurosys.SPEC, point, config, repeats=2,
+                               session=session)
         chart.points.append(result)
         decay.append((point.label, result.overheads()[Variant.PIGGYBACK]))
 

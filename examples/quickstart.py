@@ -9,7 +9,7 @@ a bit-identical final answer.
 Run:  python examples/quickstart.py
 """
 
-from repro.runtime import RunConfig, run_with_recovery
+from repro import RunConfig, Session
 from repro.simmpi import SUM, FailureSchedule
 
 
@@ -33,6 +33,7 @@ def app(ctx):
 
 
 def main() -> None:
+    session = Session()
     config = RunConfig(
         nprocs=4,
         seed=2026,
@@ -41,13 +42,13 @@ def main() -> None:
     )
 
     print("=== failure-free run ===")
-    gold = run_with_recovery(app, config)
+    gold = session.run(app, config)
     print(f"results: {gold.results}")
     print(f"checkpoint waves committed: {gold.checkpoints_committed}")
 
     print()
     print("=== same run, rank 2 killed at t=10ms ===")
-    outcome = run_with_recovery(
+    outcome = session.run(
         app, config, failures=FailureSchedule.single(0.010, 2)
     )
     for attempt in outcome.attempts:

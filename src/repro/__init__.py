@@ -1,8 +1,24 @@
 """repro: reproduction of *Automated Application-level Checkpointing of MPI
 Programs* (Bronevetsky, Marques, Pingali, Stodghill — PPoPP 2003).
 
+Public API (stable)
+-------------------
+``repro.Session``
+    Experiment facade: ``session.run(app, config)`` and
+    ``session.sweep(app, config, variants=..., seeds=..., nprocs=...)``.
+``repro.RunConfig`` / ``repro.Variant``
+    Run configuration and the four build variants of Section 6.2.
+``repro.app`` / ``repro.AppSpec``
+    Application registration (plain ``main(ctx)`` functions and
+    precompiled units alike).
+``repro.CommLike`` / ``repro.RawCommAdapter``
+    The messaging surface applications are written against, and its V0
+    pass-through implementation (V1–V3 use the C3 protocol layer).
+
 Subpackages
 -----------
+``repro.api``
+    The facade itself: Session/sweep, CommLike, the app registry.
 ``repro.simmpi``
     Deterministic MPI simulator substrate (ranks, network, faults).
 ``repro.protocol``
@@ -21,6 +37,62 @@ Subpackages
     The four-variant overhead harness that regenerates Figure 8.
 """
 
-__version__ = "1.0.0"
+import warnings
 
-__all__ = ["__version__"]
+from repro.api import (
+    AppSpec,
+    CommLike,
+    RawCommAdapter,
+    Session,
+    SweepResult,
+    app,
+    get_app,
+    list_apps,
+    register,
+)
+from repro.runtime.config import RunConfig, Variant
+from repro.runtime.driver import RunOutcome
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "AppSpec",
+    "CommLike",
+    "RawCommAdapter",
+    "RunConfig",
+    "RunOutcome",
+    "Session",
+    "SweepResult",
+    "Variant",
+    "__version__",
+    "app",
+    "get_app",
+    "list_apps",
+    "register",
+    "run_variant_suite",
+    "run_with_recovery",
+]
+
+
+def run_with_recovery(*args, **kwargs):
+    """Deprecated shim — use :meth:`Session.run` instead."""
+    warnings.warn(
+        "repro.run_with_recovery is deprecated; use repro.Session().run(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.driver import run_with_recovery as _impl
+
+    return _impl(*args, **kwargs)
+
+
+def run_variant_suite(*args, **kwargs):
+    """Deprecated shim — use :meth:`Session.sweep` instead."""
+    warnings.warn(
+        "repro.run_variant_suite is deprecated; use repro.Session().sweep(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.driver import run_variant_suite as _impl
+
+    return _impl(*args, **kwargs)

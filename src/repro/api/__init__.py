@@ -1,0 +1,36 @@
+"""``repro.api``: the canonical public surface of the reproduction.
+
+Applications are written against :class:`CommLike` (implemented by the C3
+protocol layer for variants V1–V3 and by :class:`RawCommAdapter` for V0),
+registered via :class:`AppSpec`/:func:`app`, and executed through a
+:class:`Session` — one object owning storage, cost models and sweep
+parallelism.  ``repro/__init__.py`` re-exports the stable names.
+"""
+
+from repro.api.comms import CommLike, RawCommAdapter, RawHandle
+from repro.api.registry import AppSpec, app, get_app, list_apps, register
+from repro.api.session import (
+    ALL_VARIANTS,
+    RunRow,
+    Session,
+    SweepCell,
+    SweepResult,
+    default_storage_factory,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "AppSpec",
+    "CommLike",
+    "RawCommAdapter",
+    "RawHandle",
+    "RunRow",
+    "Session",
+    "SweepCell",
+    "SweepResult",
+    "app",
+    "default_storage_factory",
+    "get_app",
+    "list_apps",
+    "register",
+]

@@ -1,0 +1,390 @@
+"""``Session``: one object that owns an experiment's resources.
+
+The free-function driver (:func:`repro.runtime.driver.run_with_recovery`)
+asks every caller to hand-wire storage, failure schedules and variant
+loops.  A :class:`Session` centralises those defaults and adds the sweep
+machinery the Figure-8 protocol implies:
+
+* ``session.run(app, config)`` — one application, one configuration;
+  ``app`` may be a registered name, an :class:`~repro.api.registry.AppSpec`
+  or any driver-ready callable.
+* ``session.sweep(app, base_config, variants=…, seeds=…, nprocs=…,
+  grid=…)`` — the cross product of the requested axes, one fresh storage
+  per cell, executed concurrently via ``ProcessPoolExecutor`` when the
+  cells can be shipped to workers (registered apps can always be; closures
+  fall back to in-process serial execution).  Every cell is an independent
+  deterministic simulation, so parallel results are bit-identical to
+  serial ones — ``parallel=False`` exists only for debugging.
+
+The result is a :class:`SweepResult`: tidy per-cell rows, each carrying
+its :class:`~repro.runtime.driver.RunOutcome`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.api.registry import AppMain, AppSpec, _FunctionApp, get_app, rehydrate
+from repro.errors import ConfigError
+from repro.runtime.config import RunConfig, Variant
+from repro.runtime.driver import RunOutcome, run_with_recovery
+from repro.simmpi.clock import CostModel
+from repro.simmpi.failures import FailureSchedule
+from repro.statesave.storage import Storage
+
+#: The four build variants of Section 6.2, in Figure-8 order.
+ALL_VARIANTS = (
+    Variant.UNMODIFIED,
+    Variant.PIGGYBACK,
+    Variant.NO_APP_STATE,
+    Variant.FULL,
+)
+
+AppLike = Union[str, AppSpec, AppMain]
+FailuresLike = Union[None, FailureSchedule, Callable[["SweepCell"], Optional[FailureSchedule]]]
+
+_CONFIG_FIELDS = frozenset(f.name for f in fields(RunConfig))
+
+
+def default_storage_factory() -> Storage:
+    """Fresh in-memory stable storage (one per run/sweep cell)."""
+    return Storage(None)
+
+
+# ===================================================================== #
+# Sweep cells and results.
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Coordinates of one run within a sweep (one tidy-table key)."""
+
+    app: str
+    variant: Variant
+    seed: int
+    nprocs: int
+    params: Any = None
+    #: Extra ``RunConfig`` field overrides from the ``grid`` axis.
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass
+class RunRow:
+    """One tidy row of a sweep table: cell coordinates plus the outcome."""
+
+    cell: SweepCell
+    outcome: RunOutcome
+
+    def as_dict(self) -> dict[str, Any]:
+        row: dict[str, Any] = {
+            "app": self.cell.app,
+            "variant": self.cell.variant.value,
+            "seed": self.cell.seed,
+            "nprocs": self.cell.nprocs,
+            "params": self.cell.params,
+        }
+        row.update(self.cell.overrides)
+        row.update(
+            results=self.outcome.results,
+            attempts=len(self.outcome.attempts),
+            restarts=self.outcome.restarts,
+            virtual_time=self.outcome.total_virtual_time,
+            wall_seconds=self.outcome.total_wall_seconds,
+            checkpoints_committed=self.outcome.checkpoints_committed,
+            storage_bytes=self.outcome.storage_bytes_written,
+            network_messages=self.outcome.network_messages,
+            network_bytes=self.outcome.network_bytes,
+        )
+        return row
+
+
+class SweepResult:
+    """Ordered collection of sweep rows (cell order is the axis product)."""
+
+    def __init__(self, rows: list[RunRow]) -> None:
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def table(self) -> list[dict[str, Any]]:
+        """The tidy table: one flat dict per cell."""
+        return [row.as_dict() for row in self.rows]
+
+    def select(self, **coords: Any) -> list[RunRow]:
+        """Rows whose cell matches every given coordinate
+        (e.g. ``select(variant=Variant.FULL, seed=3)``)."""
+        out = []
+        for row in self.rows:
+            cell_view = dict(row.cell.overrides)
+            cell_view.update(
+                app=row.cell.app,
+                variant=row.cell.variant,
+                seed=row.cell.seed,
+                nprocs=row.cell.nprocs,
+                params=row.cell.params,
+            )
+            if all(cell_view.get(k) == v for k, v in coords.items()):
+                out.append(row)
+        return out
+
+    def outcome(self, **coords: Any) -> RunOutcome:
+        """The unique outcome at the given coordinates."""
+        rows = self.select(**coords)
+        if len(rows) != 1:
+            raise ConfigError(
+                f"coordinates {coords!r} match {len(rows)} cells, expected 1"
+            )
+        return rows[0].outcome
+
+    def by_variant(self) -> dict[Variant, RunOutcome]:
+        """``{variant: outcome}`` — the ``run_variant_suite`` shape.
+
+        Requires the variant axis to be the only one with multiple values.
+        """
+        out: dict[Variant, RunOutcome] = {}
+        for row in self.rows:
+            if row.cell.variant in out:
+                raise ConfigError(
+                    "by_variant() needs a sweep whose only multi-valued axis "
+                    "is the variant"
+                )
+            out[row.cell.variant] = row.outcome
+        return out
+
+
+# ===================================================================== #
+# Cell execution (module-level so payloads can cross process boundaries).
+# ===================================================================== #
+
+
+def _build_app(app_ref: tuple, params: Any) -> AppMain:
+    kind = app_ref[0]
+    if kind == "spec":
+        _, module, name = app_ref
+        return rehydrate(module, name).build(params)
+    fn = app_ref[1]
+    if params is None:
+        return fn
+    return _FunctionApp(fn, params)
+
+
+def _execute_cell(payload: tuple) -> RunOutcome:
+    """Run one sweep cell; works identically in-process and in a worker."""
+    app_ref, cell, config, failure_events, storage_spec = payload
+    app_main = _build_app(app_ref, cell.params)
+    failures = FailureSchedule(failure_events) if failure_events else None
+    kind, value = storage_spec
+    storage = Storage(value) if kind == "path" else value()
+    return run_with_recovery(app_main, config, failures=failures, storage=storage)
+
+
+# ===================================================================== #
+# The Session facade.
+# ===================================================================== #
+
+
+class Session:
+    """Owns storage, cost-model and parallelism defaults for experiments.
+
+    Parameters
+    ----------
+    storage_factory:
+        Zero-argument callable producing a fresh :class:`Storage` per run.
+        Defaults to in-memory storage.  For sweeps to run in parallel the
+        factory must be picklable (a module-level function).
+    cost_model:
+        When given, applied to every config that still carries the default
+        :class:`CostModel`.
+    max_workers:
+        Process-pool width for sweeps; defaults to ``os.cpu_count()``
+        capped by the number of cells.
+    """
+
+    def __init__(
+        self,
+        storage_factory: Optional[Callable[[], Storage]] = None,
+        cost_model: Optional[CostModel] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.storage_factory = storage_factory or default_storage_factory
+        self.cost_model = cost_model
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+
+    def _apply_defaults(self, config: RunConfig) -> RunConfig:
+        if self.cost_model is not None and config.cost_model == CostModel():
+            config = replace(config, cost_model=self.cost_model)
+        return config
+
+    def _app_ref(self, app: AppLike) -> tuple:
+        """Normalise an app argument to a portable reference tuple."""
+        if isinstance(app, str):
+            spec = get_app(app)
+            return ("spec", spec.module, spec.name)
+        if isinstance(app, AppSpec):
+            return ("spec", app.module, app.name)
+        spec = getattr(app, "__app_spec__", None)
+        if isinstance(spec, AppSpec):
+            return ("spec", spec.module, spec.name)
+        if callable(app):
+            return ("callable", app)
+        raise ConfigError(f"not a runnable application: {app!r}")
+
+    @staticmethod
+    def _app_name(app: AppLike) -> str:
+        if isinstance(app, str):
+            return app
+        if isinstance(app, AppSpec):
+            return app.name
+        return getattr(app, "__name__", type(app).__name__)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        app: AppLike,
+        config: RunConfig,
+        *,
+        params: Any = None,
+        failures: Optional[FailureSchedule] = None,
+        storage: Optional[Storage] = None,
+    ) -> RunOutcome:
+        """Execute one application under one configuration.
+
+        ``params`` reaches the application as ``ctx.params`` (for a spec,
+        ``None`` means the spec's default parameters; for a bare callable,
+        ``None`` leaves the callable untouched).
+        """
+        config = self._apply_defaults(config)
+        app_main = _build_app(self._app_ref(app), params)
+        if storage is None:
+            storage = (
+                Storage(config.storage_path)
+                if config.storage_path is not None
+                else self.storage_factory()
+            )
+        return run_with_recovery(app_main, config, failures=failures, storage=storage)
+
+    # ------------------------------------------------------------------ #
+
+    def sweep(
+        self,
+        app: AppLike,
+        base_config: Optional[RunConfig] = None,
+        *,
+        variants: Sequence[Variant] = ALL_VARIANTS,
+        seeds: Optional[Iterable[int]] = None,
+        nprocs: Optional[Iterable[int]] = None,
+        params: Optional[Iterable[Any]] = None,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+        failures: FailuresLike = None,
+        storage_factory: Optional[Callable[[], Storage]] = None,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> SweepResult:
+        """Run the cross product of the requested axes.
+
+        Cell order is the axis product in the order
+        ``variants × seeds × nprocs × params × grid``; results always come
+        back in that order regardless of execution backend, and each cell
+        gets a fresh storage so checkpoints cannot leak between cells.
+        When a cell's config names a ``storage_path`` (and no explicit
+        ``storage_factory`` overrides it), the cell persists to a unique
+        subdirectory of that path.
+        """
+        base_config = base_config if base_config is not None else RunConfig(nprocs=4)
+        base_config = self._apply_defaults(base_config)
+        app_ref = self._app_ref(app)
+        app_name = self._app_name(app)
+        factory = storage_factory or self.storage_factory
+
+        seed_axis = tuple(seeds) if seeds is not None else (base_config.seed,)
+        nprocs_axis = tuple(nprocs) if nprocs is not None else (base_config.nprocs,)
+        params_axis = tuple(params) if params is not None else (None,)
+        grid = dict(grid or {})
+        reserved = {"variant", "seed", "nprocs"} & set(grid)
+        if reserved:
+            raise ConfigError(
+                f"grid names fields with dedicated axes: {sorted(reserved)}; "
+                "use the variants=/seeds=/nprocs= arguments instead"
+            )
+        unknown = set(grid) - _CONFIG_FIELDS
+        if unknown:
+            raise ConfigError(f"grid names unknown RunConfig fields: {sorted(unknown)}")
+        grid_axes = [tuple((name, v) for v in values) for name, values in grid.items()]
+
+        payloads = []
+        cells = []
+        for index, (variant, seed, np_, p, *grid_choice) in enumerate(
+            itertools.product(
+                tuple(variants), seed_axis, nprocs_axis, params_axis, *grid_axes
+            )
+        ):
+            overrides = tuple(grid_choice)
+            cell = SweepCell(
+                app=app_name, variant=variant, seed=seed, nprocs=np_,
+                params=p, overrides=overrides,
+            )
+            cfg = replace(
+                base_config, variant=variant, seed=seed, nprocs=np_,
+                **dict(overrides),
+            )
+            if storage_factory is None and cfg.storage_path is not None:
+                # Persist where the config asks to, but never share a
+                # directory between cells (one COMMIT record per store).
+                slug = f"cell{index:04d}-{variant.value}-seed{seed}-np{np_}"
+                storage_spec = ("path", os.path.join(cfg.storage_path, slug))
+            else:
+                storage_spec = ("factory", factory)
+            sched = failures(cell) if callable(failures) else failures
+            events = tuple(sched.remaining()) if sched is not None else ()
+            payloads.append((app_ref, cell, cfg, events, storage_spec))
+            cells.append(cell)
+
+        outcomes = self._execute(payloads, parallel, max_workers)
+        return SweepResult(
+            [RunRow(cell=c, outcome=o) for c, o in zip(cells, outcomes)]
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(
+        self,
+        payloads: list[tuple],
+        parallel: bool,
+        max_workers: Optional[int],
+    ) -> list[RunOutcome]:
+        if parallel and len(payloads) > 1:
+            try:
+                # Probe the parts whose picklability actually varies (the
+                # app reference and the storage spec), not the whole list —
+                # the pool serialises the full payloads itself.
+                pickle.dumps((payloads[0][0], payloads[0][4]))
+            except Exception:
+                # Closures / ad-hoc objects cannot reach workers; the serial
+                # path computes the identical result in-process.
+                parallel = False
+        if not parallel or len(payloads) <= 1:
+            return [_execute_cell(p) for p in payloads]
+        workers = min(
+            len(payloads),
+            max_workers or self.max_workers or os.cpu_count() or 1,
+        )
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_execute_cell, payloads))
+        except pickle.PicklingError:
+            # Something cell-specific (params, failure events) escaped the
+            # probe; same cells, same order, in-process.
+            return [_execute_cell(p) for p in payloads]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import AppSpec, register
 from repro.precompiler.api import PrecompiledApp, Precompiler
 
 
@@ -142,6 +143,16 @@ def unit():
 def build(params: CGParams) -> PrecompiledApp:
     """A driver-ready application instance for the given problem size."""
     return PrecompiledApp(unit(), entry="cg_main", params=params)
+
+
+SPEC = register(
+    AppSpec(
+        name="dense_cg",
+        factory=build,
+        default_params=CGParams(),
+        description="Dense Conjugate Gradient (Figure 8, left chart)",
+    )
+)
 
 
 def reference(params: CGParams) -> dict:

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import AppSpec, register
 from repro.precompiler.api import PrecompiledApp, Precompiler
 
 
@@ -154,3 +155,13 @@ def unit():
 
 def build(params: LaplaceParams) -> PrecompiledApp:
     return PrecompiledApp(unit(), entry="laplace_main", params=params)
+
+
+SPEC = register(
+    AppSpec(
+        name="laplace",
+        factory=build,
+        default_params=LaplaceParams(),
+        description="Laplace Solver (Figure 8, middle chart)",
+    )
+)

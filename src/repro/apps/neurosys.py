@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import AppSpec, register
 from repro.precompiler.api import PrecompiledApp, Precompiler
 
 
@@ -174,3 +175,13 @@ def unit():
 
 def build(params: NeurosysParams) -> PrecompiledApp:
     return PrecompiledApp(unit(), entry="neurosys_main", params=params)
+
+
+SPEC = register(
+    AppSpec(
+        name="neurosys",
+        factory=build,
+        default_params=NeurosysParams(),
+        description="Neurosys neuron-network simulator (Figure 8, right chart)",
+    )
+)

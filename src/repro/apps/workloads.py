@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import AppSpec
+from repro.apps import dense_cg, laplace, neurosys
 from repro.apps.dense_cg import CGParams
 from repro.apps.laplace import LaplaceParams
 from repro.apps.neurosys import NeurosysParams
@@ -68,6 +70,14 @@ ALL_CHARTS = {
     "dense_cg": DENSE_CG_POINTS,
     "laplace": LAPLACE_POINTS,
     "neurosys": NEUROSYS_POINTS,
+}
+
+#: The registered application catalogue (importing this module registers
+#: all three paper applications; :func:`repro.get_app` autoloads it).
+APP_SPECS: dict[str, AppSpec] = {
+    "dense_cg": dense_cg.SPEC,
+    "laplace": laplace.SPEC,
+    "neurosys": neurosys.SPEC,
 }
 
 #: The paper ran 16 processors (of the 64-node CMI cluster).

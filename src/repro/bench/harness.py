@@ -19,19 +19,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
+from repro.api.registry import AppSpec, get_app
+from repro.api.session import ALL_VARIANTS, Session
 from repro.apps.workloads import WorkloadPoint
 from repro.runtime.config import RunConfig, Variant
-from repro.runtime.driver import RunOutcome, run_with_recovery
-from repro.statesave.storage import Storage
+from repro.runtime.driver import RunOutcome
 
-ALL_VARIANTS = (
-    Variant.UNMODIFIED,
-    Variant.PIGGYBACK,
-    Variant.NO_APP_STATE,
-    Variant.FULL,
-)
+#: A workload factory: anything measure_point can turn into ``params ->
+#: app_main`` — a registered app name, an AppSpec, or a build callable.
+BuildLike = Union[str, AppSpec, Callable[[object], Callable]]
 
 
 @dataclass
@@ -93,15 +91,28 @@ def _checksum_of(outcome: RunOutcome) -> float:
     return total
 
 
+def _resolve_build(build: BuildLike) -> Callable[[object], Callable]:
+    if isinstance(build, str):
+        return get_app(build).build
+    if isinstance(build, AppSpec):
+        return build.build
+    return build
+
+
 def measure_point(
-    build: Callable[[object], Callable],
+    build: BuildLike,
     point: WorkloadPoint,
     base_config: RunConfig,
     variants: tuple[Variant, ...] = ALL_VARIANTS,
     repeats: int = 1,
     interval_fraction: Optional[float] = None,
+    session: Optional[Session] = None,
 ) -> PointResult:
     """Run one workload point under each variant.
+
+    Execution goes through a :class:`Session` (a fresh default one unless
+    given), serially — wall-clock per bar is the measured quantity, so
+    bars must not compete for cores.
 
     ``repeats`` > 1 re-runs each variant and keeps the *minimum* wall time
     (standard best-of-N to shave scheduler noise).  A discarded warmup run
@@ -116,9 +127,11 @@ def measure_point(
     pinned wave count keeps the overhead-versus-state-size trend readable
     at simulator scale (per-wave cost is the quantity under study).
     """
+    session = session if session is not None else Session()
+    build = _resolve_build(build)
     result = PointResult(point=point)
     warm_cfg = replace(base_config, variant=Variant.UNMODIFIED)
-    warmup = run_with_recovery(build(point.params), warm_cfg, storage=Storage(None))
+    warmup = session.run(build(point.params), warm_cfg)
     if interval_fraction is not None:
         base_config = replace(
             base_config,
@@ -128,10 +141,9 @@ def measure_point(
         best: Optional[VariantMeasurement] = None
         for _ in range(max(1, repeats)):
             cfg = replace(base_config, variant=variant)
-            storage = Storage(None)
             app = build(point.params)
             t0 = time.perf_counter()
-            outcome = run_with_recovery(app, cfg, storage=storage)
+            outcome = session.run(app, cfg)
             wall = time.perf_counter() - t0
             measurement = VariantMeasurement(
                 variant=variant,
@@ -151,20 +163,22 @@ def measure_point(
 
 
 def measure_chart(
-    build: Callable[[object], Callable],
+    build: BuildLike,
     app: str,
     points: tuple[WorkloadPoint, ...],
     base_config: RunConfig,
     variants: tuple[Variant, ...] = ALL_VARIANTS,
     repeats: int = 1,
     interval_fraction: Optional[float] = None,
+    session: Optional[Session] = None,
 ) -> ChartResult:
     """Regenerate one full Figure-8 chart."""
+    session = session if session is not None else Session()
     chart = ChartResult(app=app)
     for point in points:
         chart.points.append(
             measure_point(build, point, base_config, variants, repeats,
-                          interval_fraction=interval_fraction)
+                          interval_fraction=interval_fraction, session=session)
         )
     return chart
 

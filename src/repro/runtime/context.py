@@ -19,11 +19,13 @@ run under the recovery driver.  It exposes:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import ConfigError
-from repro.protocol.layer import C3Layer
 from repro.simmpi.simulator import RankContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.comms import CommLike
 
 
 class C3AppContext:
@@ -32,12 +34,14 @@ class C3AppContext:
     def __init__(
         self,
         rank_ctx: RankContext,
-        layer: C3Layer,
+        layer: "CommLike",
         restored_app_state: Any = None,
         restored: bool = False,
     ) -> None:
         self._rank_ctx = rank_ctx
-        self.mpi = layer
+        #: The messaging surface — any CommLike implementation (the C3
+        #: protocol layer for V1–V3, the raw adapter for V0).
+        self.mpi: "CommLike" = layer
         self._registered_state: Any = None
         self._state_registered = False
         self._restored_app_state = restored_app_state

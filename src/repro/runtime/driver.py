@@ -21,9 +21,10 @@ attempt *n* does not fire again in attempt *n+1* (the faulty node has been
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
+from repro.api.comms import CommLike, RawCommAdapter
 from repro.errors import RecoveryError
 from repro.protocol.layer import C3Layer
 from repro.runtime.config import RunConfig, Variant
@@ -56,7 +57,12 @@ class RunOutcome:
     attempts: list[AttemptRecord] = field(default_factory=list)
     total_wall_seconds: float = 0.0
     total_virtual_time: float = 0.0
+    #: Number of checkpoint waves committed *during this run* (commit
+    #: events observed on the storage, not the last epoch index — the two
+    #: differ whenever the storage carries commits from an earlier run).
     checkpoints_committed: int = 0
+    #: Bytes written to stable storage during this run (not cumulative
+    #: over a shared/reused storage).
     storage_bytes_written: int = 0
     #: Per-rank protocol layer stats from the final (successful) attempt.
     layer_stats: list[Any] = field(default_factory=list)
@@ -83,17 +89,27 @@ def run_with_recovery(
     storage = storage if storage is not None else Storage(config.storage_path)
     failures = failures or FailureSchedule.none()
     c3cfg = config.c3_config()
+    # V0 "Unmodified Program" runs on the raw communicator: no layer, no
+    # piggyback word, no protocol state — the paper's true baseline.
+    use_raw = not c3cfg.protocol_enabled and not c3cfg.piggyback_enabled
     outcome = RunOutcome(results=[])
     wall_start = time.perf_counter()
+    commits_at_start = storage.commits
+    bytes_at_start = storage.bytes_written
     attempt_index = 0
     # The per-attempt layer registry lets us read stats after a run; keyed
     # by rank, rebuilt on every attempt.
-    layers: list[Optional[C3Layer]] = [None] * config.nprocs
+    layers: list[Optional[CommLike]] = [None] * config.nprocs
 
     while True:
         committed = storage.committed_epoch() if config.checkpointing_active else None
 
         def rank_main(rank_ctx, _committed=committed):
+            if use_raw:
+                adapter = RawCommAdapter(rank_ctx.comm)
+                layers[rank_ctx.rank] = adapter
+                rank_ctx.c3 = adapter
+                return app_main(C3AppContext(rank_ctx, adapter))
             layer = C3Layer(rank_ctx.comm, c3cfg, storage)
             layers[rank_ctx.rank] = layer
             rank_ctx.c3 = layer
@@ -159,9 +175,8 @@ def run_with_recovery(
             )
 
     outcome.total_wall_seconds = time.perf_counter() - wall_start
-    committed = storage.committed_epoch()
-    outcome.checkpoints_committed = committed if committed is not None else 0
-    outcome.storage_bytes_written = storage.bytes_written
+    outcome.checkpoints_committed = storage.commits - commits_at_start
+    outcome.storage_bytes_written = storage.bytes_written - bytes_at_start
     return outcome
 
 
@@ -174,16 +189,19 @@ def run_variant_suite(
         Variant.NO_APP_STATE,
         Variant.FULL,
     ),
+    storage_factory: Optional[Callable[[], Storage]] = None,
 ) -> dict[Variant, RunOutcome]:
     """Run the same application under each variant (the Figure-8 protocol).
 
-    Each variant gets a fresh in-memory storage so checkpoints from one
-    variant cannot leak into another.
-    """
-    from dataclasses import replace
+    Each variant gets a fresh storage from ``storage_factory`` (in-memory
+    by default) so checkpoints from one variant cannot leak into another.
 
+    Prefer :meth:`repro.Session.sweep`, which executes the same cells — in
+    parallel, with identical results.
+    """
+    factory = storage_factory if storage_factory is not None else lambda: Storage(None)
     outcomes: dict[Variant, RunOutcome] = {}
     for variant in variants:
         cfg = replace(base_config, variant=variant)
-        outcomes[variant] = run_with_recovery(app_main, cfg, storage=Storage(None))
+        outcomes[variant] = run_with_recovery(app_main, cfg, storage=factory())
     return outcomes

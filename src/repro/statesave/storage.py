@@ -50,6 +50,9 @@ class Storage:
         #: Cumulative bytes written (benchmark observability).
         self.bytes_written = 0
         self.writes = 0
+        #: Commit events observed on this store (one per checkpoint wave);
+        #: the driver diffs it to count waves committed during a run.
+        self.commits = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
 
@@ -127,6 +130,7 @@ class Storage:
             epoch=epoch, committed_at=virtual_time, wall_time=time.time()
         )
         self._write("COMMIT", record)
+        self.commits += 1
 
     def committed_epoch(self) -> Optional[int]:
         """Epoch of the last committed global checkpoint, or None."""

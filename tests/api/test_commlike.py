@@ -1,0 +1,138 @@
+"""CommLike conformance: C3Layer and RawCommAdapter expose one surface."""
+
+import inspect
+
+import pytest
+
+from repro.api.comms import CommLike, RawCommAdapter, RawHandle
+from repro.errors import ProtocolError
+from repro.protocol.layer import C3Layer
+from repro.runtime import RunConfig, Variant, run_with_recovery
+from repro.simmpi import SUM
+
+#: Every method the protocol names (the paper's Figure-2 surface).
+COMMLIKE_METHODS = (
+    "send", "isend", "recv", "irecv", "wait", "test", "sendrecv",
+    "bcast", "reduce", "allreduce", "gather", "allgather", "scatter",
+    "alltoall", "scan", "barrier",
+    "comm_dup", "comm_split", "op_create", "comm_rank", "comm_size",
+    "potential_checkpoint", "nondet",
+)
+
+
+@pytest.mark.parametrize("impl", [C3Layer, RawCommAdapter])
+def test_class_declares_full_surface(impl):
+    for name in COMMLIKE_METHODS:
+        member = inspect.getattr_static(impl, name)
+        assert callable(member), f"{impl.__name__}.{name} is not callable"
+
+
+@pytest.mark.parametrize(
+    "variant, expected",
+    [
+        (Variant.UNMODIFIED, "RawCommAdapter"),
+        (Variant.PIGGYBACK, "C3Layer"),
+        (Variant.NO_APP_STATE, "C3Layer"),
+        (Variant.FULL, "C3Layer"),
+    ],
+)
+def test_isinstance_commlike_under_every_variant(variant, expected):
+    """The live ``ctx.mpi`` object satisfies the runtime protocol check."""
+
+    def app(ctx):
+        assert isinstance(ctx.mpi, CommLike)
+        return type(ctx.mpi).__name__
+
+    cfg = RunConfig(nprocs=2, seed=1, variant=variant,
+                    checkpoint_interval=0.002, detector_timeout=0.04)
+    out = run_with_recovery(app, cfg)
+    assert out.results == [expected, expected]
+
+
+def test_app_runs_unmodified_under_all_variants():
+    """One instrumented app, four variants, identical answers — including
+    V0 where the hooks are no-ops on the raw adapter."""
+
+    def app(ctx):
+        state = ctx.checkpointable_state(lambda: {"i": 0, "acc": 0})
+        while state["i"] < 25:
+            state["acc"] += ctx.mpi.allreduce(
+                state["i"] + ctx.nondet(lambda: 1), SUM
+            )
+            state["i"] += 1
+            ctx.potential_checkpoint()
+        return state["acc"]
+
+    results = {}
+    for variant in Variant:
+        cfg = RunConfig(nprocs=3, seed=5, variant=variant,
+                        checkpoint_interval=0.002, detector_timeout=0.04)
+        results[variant] = run_with_recovery(app, cfg).results
+    assert len({tuple(r) for r in results.values()}) == 1
+
+
+class TestRawCommAdapter:
+    def run_app(self, app, nprocs=2, seed=0):
+        cfg = RunConfig(nprocs=nprocs, seed=seed, variant=Variant.UNMODIFIED)
+        return run_with_recovery(app, cfg)
+
+    def test_point_to_point_and_requests(self):
+        def app(ctx):
+            peer = (ctx.rank + 1) % ctx.size
+            req = ctx.mpi.isend(ctx.rank * 10, peer, tag=3)
+            rreq = ctx.mpi.irecv(source=(ctx.rank - 1) % ctx.size, tag=3)
+            got = ctx.mpi.wait(rreq)
+            ctx.mpi.wait(req)
+            assert ctx.mpi.test(req)
+            back = ctx.mpi.sendrecv(got, peer, (ctx.rank - 1) % ctx.size, send_tag=4)
+            return (got, back)
+
+        out = self.run_app(app, nprocs=3)
+        assert [g for g, _ in out.results] == [20, 0, 10]
+
+    def test_communicator_construction_and_handles(self):
+        def app(ctx):
+            dup = ctx.mpi.comm_dup()
+            assert ctx.mpi.comm_rank(dup) == ctx.rank
+            assert ctx.mpi.comm_size(dup) == ctx.size
+            total = ctx.mpi.allreduce(1, SUM, comm=dup)
+            half = ctx.mpi.comm_split(color=ctx.rank % 2)
+            sub = ctx.mpi.allreduce(ctx.rank, SUM, comm=half)
+            ctx.mpi.barrier()
+            return (total, sub)
+
+        out = self.run_app(app, nprocs=4)
+        assert out.results == [(4, 0 + 2), (4, 1 + 3), (4, 0 + 2), (4, 1 + 3)]
+
+    def test_op_create_returns_usable_handle(self):
+        def app(ctx):
+            h = ctx.mpi.op_create("rawmax2", lambda a, b: max(a, b))
+            assert isinstance(h, RawHandle)
+            return ctx.mpi.allreduce(ctx.rank, h._live)
+
+        out = self.run_app(app, nprocs=3)
+        assert out.results == [2, 2, 2]
+
+    def test_hooks_are_noops(self):
+        def app(ctx):
+            assert ctx.potential_checkpoint() is False
+            return ctx.nondet(lambda: 7)
+
+        assert self.run_app(app).results == [7, 7]
+
+    def test_no_piggyback_on_wire(self):
+        def app(ctx):
+            peer = (ctx.rank + 1) % ctx.size
+            ctx.mpi.send("x", peer, tag=1)
+            env = ctx.mpi.comm.recv_envelope(source=(ctx.rank - 1) % ctx.size, tag=1)
+            return env.piggyback
+
+        assert self.run_app(app).results == [None, None]
+
+    def test_initiator_hook_rejected(self):
+        def app(ctx):
+            with pytest.raises(ProtocolError):
+                ctx.mpi.request_checkpoint_now()
+            return True
+
+        assert self.run_app(app).results == [True, True]

@@ -109,6 +109,29 @@ class TestDriver:
         )
         assert out.results == gold.results
 
+    def test_checkpoints_committed_counts_waves_not_epoch_index(self):
+        """Regression: the outcome must report how many waves committed
+        *during the run*, not the storage's last committed epoch index.
+        A second run sharing the storage resumes from the first run's
+        commit, so its epoch index keeps growing while its own wave count
+        starts from zero."""
+        storage = Storage(None)
+        first = run_with_recovery(counting_app(), RunConfig(**self.CFG),
+                                  storage=storage)
+        assert first.checkpoints_committed >= 1
+        assert first.checkpoints_committed == storage.commits
+        second = run_with_recovery(counting_app(), RunConfig(**self.CFG),
+                                   storage=storage)
+        own_commits = storage.commits - first.checkpoints_committed
+        assert second.checkpoints_committed == own_commits
+        # The stale behaviour reported the (larger) cumulative epoch index.
+        assert storage.committed_epoch() > second.checkpoints_committed
+        # Same discipline for byte accounting: per-run, not cumulative.
+        assert (
+            first.storage_bytes_written + second.storage_bytes_written
+            == storage.bytes_written
+        )
+
     def test_run_variant_suite(self):
         outcomes = run_variant_suite(counting_app(30), RunConfig(**self.CFG))
         results = {v: o.results for v, o in outcomes.items()}

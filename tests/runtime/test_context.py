@@ -4,10 +4,69 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.runtime import RunConfig, run_with_recovery
+from repro.runtime.context import C3AppContext
 from repro.simmpi import SUM, FailureSchedule
 
 
 CFG = dict(nprocs=2, seed=9, checkpoint_interval=0.002, detector_timeout=0.04)
+
+
+class _StubLayer:
+    """Just enough CommLike surface for constructing a context directly."""
+
+    state_provider = None
+
+
+class _StubRankCtx:
+    rank = 0
+    size = 1
+
+    def __init__(self):
+        self.rng = object()
+
+
+class TestLegacyBlobRestore:
+    """The legacy/bare-blob branch of ``checkpointable_state``: a restored
+    blob without the ``{"user": ..., "rng": ...}`` wrapper is handed back
+    verbatim and the live RNG stream is left untouched."""
+
+    def make_ctx(self, blob):
+        return C3AppContext(
+            _StubRankCtx(), _StubLayer(), restored_app_state=blob, restored=True
+        )
+
+    def test_bare_blob_returned_verbatim(self):
+        blob = {"grid": [1, 2, 3]}  # dict, but not the user/rng wrapper
+        ctx = self.make_ctx(blob)
+        rng_before = ctx._rank_ctx.rng
+        state = ctx.checkpointable_state(lambda: {"grid": []})
+        assert state is blob
+        assert ctx._rank_ctx.rng is rng_before
+
+    def test_non_dict_blob_returned_verbatim(self):
+        blob = [4, 5, 6]
+        ctx = self.make_ctx(blob)
+        assert ctx.checkpointable_state(list) is blob
+
+    def test_partial_wrapper_treated_as_legacy(self):
+        # "user" present but "rng" missing: not the modern wrapper.
+        blob = {"user": {"x": 1}}
+        ctx = self.make_ctx(blob)
+        assert ctx.checkpointable_state(dict) is blob
+
+    def test_modern_wrapper_unpacks_user_and_rng(self):
+        rng = object()
+        blob = {"user": {"x": 1}, "rng": rng}
+        ctx = self.make_ctx(blob)
+        state = ctx.checkpointable_state(dict)
+        assert state == {"x": 1}
+        assert ctx._rank_ctx.rng is rng
+
+    def test_restored_none_falls_back_to_init(self):
+        ctx = C3AppContext(
+            _StubRankCtx(), _StubLayer(), restored_app_state=None, restored=True
+        )
+        assert ctx.checkpointable_state(lambda: "fresh") == "fresh"
 
 
 class TestStateRegistration:
