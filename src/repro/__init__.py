@@ -27,8 +27,13 @@ Subpackages
 ``repro.precompiler``
     Source-to-source transformation that makes Python functions save and
     restore their own stack state (the CCIFT precompiler analogue).
+``repro.ckpt``
+    Tiered checkpoint storage engine: pluggable backends, compression
+    codecs, incremental (content-addressed) generations, retention
+    policies, crash-consistent two-phase commit.
 ``repro.statesave``
-    Managed heap, globals registry, checkpoint assembly, stable storage.
+    Managed heap, globals registry, checkpoint assembly, stable storage
+    (a facade over ``repro.ckpt``).
 ``repro.runtime``
     The run -> fail -> restart orchestration driver and application context.
 ``repro.apps``
@@ -53,7 +58,7 @@ from repro.api import (
 from repro.runtime.config import RunConfig, Variant
 from repro.runtime.driver import RunOutcome
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AppSpec",

@@ -180,11 +180,22 @@ def _build_app(app_ref: tuple, params: Any) -> AppMain:
 
 def _execute_cell(payload: tuple) -> RunOutcome:
     """Run one sweep cell; works identically in-process and in a worker."""
-    app_ref, cell, config, failure_events, storage_spec = payload
+    app_ref, cell, config, failure_spec, storage_spec = payload
     app_main = _build_app(app_ref, cell.params)
-    failures = FailureSchedule(failure_events) if failure_events else None
+    kill_events, ckpt_crashes = failure_spec
+    failures = (
+        FailureSchedule(kill_events, checkpoint_crashes=ckpt_crashes)
+        if kill_events or ckpt_crashes
+        else None
+    )
     kind, value = storage_spec
-    storage = Storage(value) if kind == "path" else value()
+    if kind == "path":
+        # The cell's own ckpt_* knobs apply at the per-cell directory.
+        storage = Storage.from_config(replace(config, storage_path=value))
+    elif kind == "config":
+        storage = Storage.from_config(config)  # in-memory, knobs honoured
+    else:
+        storage = value()
     return run_with_recovery(app_main, config, failures=failures, storage=storage)
 
 
@@ -217,6 +228,10 @@ class Session:
         max_workers: Optional[int] = None,
     ) -> None:
         self.storage_factory = storage_factory or default_storage_factory
+        #: Whether the caller supplied a factory.  Without one, storages are
+        #: built from each config's ckpt_* knobs (Storage.from_config), so
+        #: codec/retention settings are honoured even in-memory.
+        self._explicit_factory = storage_factory is not None
         self.cost_model = cost_model
         self.max_workers = max_workers
 
@@ -269,11 +284,10 @@ class Session:
         config = self._apply_defaults(config)
         app_main = _build_app(self._app_ref(app), params)
         if storage is None:
-            storage = (
-                Storage(config.storage_path)
-                if config.storage_path is not None
-                else self.storage_factory()
-            )
+            if config.storage_path is not None or not self._explicit_factory:
+                storage = Storage.from_config(config)
+            else:
+                storage = self.storage_factory()
         return run_with_recovery(app_main, config, failures=failures, storage=storage)
 
     # ------------------------------------------------------------------ #
@@ -307,7 +321,6 @@ class Session:
         base_config = self._apply_defaults(base_config)
         app_ref = self._app_ref(app)
         app_name = self._app_name(app)
-        factory = storage_factory or self.storage_factory
 
         seed_axis = tuple(seeds) if seeds is not None else (base_config.seed,)
         nprocs_axis = tuple(nprocs) if nprocs is not None else (base_config.nprocs,)
@@ -340,16 +353,31 @@ class Session:
                 base_config, variant=variant, seed=seed, nprocs=np_,
                 **dict(overrides),
             )
+            # Precedence matches Session.run: a config naming a
+            # storage_path persists (only a sweep-argument factory
+            # overrides that); otherwise an explicit factory wins; the
+            # default is a fresh per-cell in-memory store built from the
+            # cell's ckpt_* knobs.
             if storage_factory is None and cfg.storage_path is not None:
                 # Persist where the config asks to, but never share a
                 # directory between cells (one COMMIT record per store).
                 slug = f"cell{index:04d}-{variant.value}-seed{seed}-np{np_}"
                 storage_spec = ("path", os.path.join(cfg.storage_path, slug))
+            elif storage_factory is not None:
+                storage_spec = ("factory", storage_factory)
+            elif self._explicit_factory:
+                storage_spec = ("factory", self.storage_factory)
             else:
-                storage_spec = ("factory", factory)
+                storage_spec = ("config", None)
             sched = failures(cell) if callable(failures) else failures
-            events = tuple(sched.remaining()) if sched is not None else ()
-            payloads.append((app_ref, cell, cfg, events, storage_spec))
+            if sched is not None:
+                failure_spec = (
+                    tuple(sched.remaining()),
+                    sched.remaining_checkpoint_crashes(),
+                )
+            else:
+                failure_spec = ((), ())
+            payloads.append((app_ref, cell, cfg, failure_spec, storage_spec))
             cells.append(cell)
 
         outcomes = self._execute(payloads, parallel, max_workers)

@@ -1,0 +1,360 @@
+"""The tiered checkpoint storage engine.
+
+:class:`CheckpointStore` organises a backend's flat key space into three
+regions::
+
+    objects/<codec>/<d0d1>/<digest>         -- content-addressed chunks
+    manifests/<stream>/gen<g>.mft           -- per-generation manifests
+    refs/<name>                             -- small named records (COMMIT)
+
+A *stream* is one logical sequence of generations (``rank0/state``,
+``rank3/log``); a *generation* is one immutable snapshot within it,
+indexed by epoch.  Saving a generation is a two-phase commit:
+
+1. every chunk of the pickled payload is written (atomically, under its
+   content address) — chunks are invisible until referenced;
+2. the checksummed manifest is published with one atomic rename.
+
+A crash anywhere in phase 1, or before phase 2's rename, leaves at most
+orphaned chunks: the previous generation's manifest — and therefore the
+previous generation — is untouched.  Per-commit GC (:meth:`collect`)
+sweeps only the chunks of the generations it deletes; chunks orphaned by
+torn writes are reclaimed by the full :meth:`sweep_orphans`, run off the
+hot path (the recovery driver calls it after a failed attempt).
+
+Incremental mode consults the backend before writing each chunk: a chunk
+whose content address already exists (from any generation of any stream)
+costs zero bytes.  Compression happens per chunk, after dedup, so the
+codec never disturbs content addressing.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import replace
+from typing import Any, Callable, Optional
+
+from repro.ckpt.backends import Backend
+from repro.ckpt.codecs import ChunkCodec, get_chunk_codec
+from repro.ckpt.delta import DEFAULT_CHUNK_SIZE, DeltaStats, chunk_digest, split_chunks
+from repro.ckpt.manifest import ChunkRef, GenerationManifest
+from repro.ckpt.retention import RetentionPolicy
+from repro.errors import StorageError
+from repro.util.serialization import dumps_framed, loads_framed
+
+#: Progress stages reported to a save hook (fault injection, tests).
+STAGE_CHUNK = "chunk"
+STAGE_MANIFEST = "manifest"
+
+ProgressHook = Callable[[str, int, int], None]
+
+
+class CheckpointStore:
+    """Generations of checkpoints over a pluggable backend."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        codec: str = "none",
+        incremental: bool = True,
+        retention: Optional[RetentionPolicy] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.backend = backend
+        self.codec: ChunkCodec = get_chunk_codec(codec)
+        self.incremental = incremental
+        self.retention = retention or RetentionPolicy()
+        self.chunk_size = chunk_size
+        #: Cumulative encoded bytes that reached the backend.
+        self.bytes_written = 0
+        #: Cumulative decoded payload bytes saved (what a flat pickle store
+        #: would have written); the benchmark's denominator.
+        self.logical_bytes = 0
+        self.chunks_written = 0
+        self.chunks_reused = 0
+        self.generations_saved = 0
+        #: Every manifest this store instance has written, in save order —
+        #: the bytes-per-generation record benchmarks report from.  (GC
+        #: removes generations from the backend, not from this history.)
+        self.history: list[GenerationManifest] = []
+        #: Bumped whenever published data may have changed underneath a
+        #: reader (deletes, GC, tampering helpers); validation caches use
+        #: it as their invalidation stamp.
+        self.mutations = 0
+        self._decoders: dict[str, ChunkCodec] = {self.codec.name: self.codec}
+
+    # ------------------------------------------------------------------ #
+    # Key layout.
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _chunk_key(digest: str, codec: str) -> str:
+        # Chunks are keyed per codec: dedup must never hand a generation a
+        # chunk whose bytes were encoded under a different codec than its
+        # manifest records.
+        return f"objects/{codec}/{digest[:2]}/{digest}"
+
+    @staticmethod
+    def _manifest_key(stream: str, generation: int) -> str:
+        return f"manifests/{stream}/gen{generation:08d}.mft"
+
+    @staticmethod
+    def _record_key(name: str) -> str:
+        return f"refs/{name}"
+
+    def _decoder(self, name: str) -> ChunkCodec:
+        if name not in self._decoders:
+            self._decoders[name] = get_chunk_codec(name)
+        return self._decoders[name]
+
+    # ------------------------------------------------------------------ #
+    # Save / load.
+    # ------------------------------------------------------------------ #
+
+    def save(
+        self,
+        stream: str,
+        generation: int,
+        obj: Any,
+        progress: Optional[ProgressHook] = None,
+    ) -> GenerationManifest:
+        """Write ``obj`` as ``stream``'s generation ``generation``.
+
+        The ``progress`` hook fires before each chunk is processed and once
+        more just before the manifest is published; raising from it models
+        a crash mid-write (some chunks persisted, manifest never published).
+        """
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        chunks = split_chunks(payload, self.chunk_size)
+        stats = DeltaStats(chunks_total=len(chunks), bytes_logical=len(payload))
+        refs: list[ChunkRef] = []
+        for index, chunk in enumerate(chunks):
+            if progress is not None:
+                # Fires *before* chunk ``index`` is processed, so a hook
+                # raising at index k leaves exactly k chunks persisted.
+                progress(STAGE_CHUNK, index, len(chunks))
+            digest = chunk_digest(chunk)
+            key = self._chunk_key(digest, self.codec.name)
+            if self.incremental and self.backend.exists(key):
+                stats.chunks_reused += 1
+                refs.append(ChunkRef(digest, len(chunk), self.backend.size(key)))
+            else:
+                encoded = self.codec.encode(chunk)
+                self.backend.put(key, encoded)
+                stats.chunks_written += 1
+                stats.bytes_stored += len(encoded)
+                refs.append(ChunkRef(digest, len(chunk), len(encoded)))
+        manifest = GenerationManifest(
+            stream=stream,
+            generation=generation,
+            codec=self.codec.name,
+            chunk_size=self.chunk_size,
+            payload_length=len(payload),
+            chunks=tuple(refs),
+            created_at=time.time(),
+            stored_bytes=stats.bytes_stored,
+            reused_chunks=stats.chunks_reused,
+        ).sealed()
+        if progress is not None:
+            progress(STAGE_MANIFEST, 0, 1)
+        blob = dumps_framed(manifest)
+        self.backend.put(self._manifest_key(stream, generation), blob)
+        self.bytes_written += stats.bytes_stored + len(blob)
+        self.logical_bytes += len(payload)
+        self.chunks_written += stats.chunks_written
+        self.chunks_reused += stats.chunks_reused
+        self.generations_saved += 1
+        self.history.append(manifest)
+        return manifest
+
+    def load(self, stream: str, generation: int) -> Any:
+        """Reassemble and deserialise one generation, verifying everything."""
+        manifest = self.read_manifest(stream, generation)
+        decoder = self._decoder(manifest.codec)
+        parts: list[bytes] = []
+        for ref in manifest.chunks:
+            encoded = self.backend.get(self._chunk_key(ref.digest, manifest.codec))
+            try:
+                data = decoder.decode(encoded)
+            except Exception as exc:
+                raise StorageError(
+                    f"chunk {ref.digest[:12]} of {stream!r} generation "
+                    f"{generation} failed to decode: {exc}"
+                ) from exc
+            if len(data) != ref.length or chunk_digest(data) != ref.digest:
+                raise StorageError(
+                    f"chunk {ref.digest[:12]} of {stream!r} generation "
+                    f"{generation} fails content verification"
+                )
+            parts.append(data)
+        payload = b"".join(parts)
+        if len(payload) != manifest.payload_length:
+            raise StorageError(
+                f"{stream!r} generation {generation}: reassembled "
+                f"{len(payload)} bytes, manifest says {manifest.payload_length}"
+            )
+        return pickle.loads(payload)
+
+    # ------------------------------------------------------------------ #
+    # Manifests / generations.
+    # ------------------------------------------------------------------ #
+
+    def read_manifest(
+        self, stream: str, generation: int, verify: bool = True
+    ) -> GenerationManifest:
+        blob = self.backend.get(self._manifest_key(stream, generation))
+        manifest = loads_framed(blob)
+        if not isinstance(manifest, GenerationManifest):
+            raise StorageError(
+                f"object at {self._manifest_key(stream, generation)!r} "
+                "is not a manifest"
+            )
+        if verify:
+            manifest.verify()
+        return manifest
+
+    def has_generation(self, stream: str, generation: int) -> bool:
+        return self.backend.exists(self._manifest_key(stream, generation))
+
+    def generations(self, stream: str) -> list[int]:
+        prefix = f"manifests/{stream}/gen"
+        out = []
+        for key in self.backend.keys(prefix):
+            tail = key[len(prefix):]
+            if tail.endswith(".mft"):
+                out.append(int(tail[: -len(".mft")]))
+        return sorted(out)
+
+    def streams(self) -> list[str]:
+        seen = set()
+        for key in self.backend.keys("manifests/"):
+            stream, _sep, _leaf = key[len("manifests/"):].rpartition("/")
+            if stream:
+                seen.add(stream)
+        return sorted(seen)
+
+    def validate_generation(self, stream: str, generation: int) -> bool:
+        """True iff the generation's manifest checks out and every chunk
+        is present with matching content (a full read, used before trusting
+        a generation for recovery)."""
+        try:
+            manifest = self.read_manifest(stream, generation)
+            decoder = self._decoder(manifest.codec)
+            total = 0
+            for ref in manifest.chunks:
+                encoded = self.backend.get(self._chunk_key(ref.digest, manifest.codec))
+                data = decoder.decode(encoded)
+                if len(data) != ref.length or chunk_digest(data) != ref.digest:
+                    return False
+                total += len(data)
+            return total == manifest.payload_length
+        except Exception:
+            return False
+
+    def corrupt_manifest(self, stream: str, generation: int) -> None:
+        """Tamper with a published manifest *without* breaking its frame CRC
+        (test/fault-injection helper): the inner checksum must catch it."""
+        manifest = self.read_manifest(stream, generation, verify=False)
+        # The checksum field rides along unchanged and no longer matches.
+        tampered = replace(manifest, payload_length=manifest.payload_length + 1)
+        self.backend.put(self._manifest_key(stream, generation), dumps_framed(tampered))
+        self.mutations += 1
+
+    def delete_generation(self, stream: str, generation: int) -> None:
+        self.backend.delete(self._manifest_key(stream, generation))
+        self.mutations += 1
+
+    # ------------------------------------------------------------------ #
+    # Named records (commit records and other small control data).
+    # ------------------------------------------------------------------ #
+
+    def put_record(self, name: str, obj: Any) -> None:
+        blob = dumps_framed(obj)
+        self.backend.put(self._record_key(name), blob)
+        self.bytes_written += len(blob)
+
+    def get_record(self, name: str) -> Any:
+        return loads_framed(self.backend.get(self._record_key(name)))
+
+    def has_record(self, name: str) -> bool:
+        return self.backend.exists(self._record_key(name))
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection.
+    # ------------------------------------------------------------------ #
+
+    def collect(
+        self,
+        pinned: Optional[int] = None,
+        retention: Optional[RetentionPolicy] = None,
+    ) -> int:
+        """Apply retention to every stream, then sweep the chunks the
+        deleted generations referenced.
+
+        The sweep is *targeted*: only chunks named by the just-deleted
+        manifests are checked against the live reference set, so per-wave
+        GC cost scales with what was removed, not with store size.  Chunks
+        orphaned without ever gaining a manifest (torn writes) are instead
+        reclaimed by :meth:`sweep_orphans`, which the recovery driver runs
+        off the hot path after a failed attempt.
+
+        Returns the number of generation manifests removed (reclaimed
+        chunks are not counted: they are storage internals, not
+        checkpoint objects).
+        """
+        policy = retention or self.retention
+        removed = 0
+        candidates: set[str] = set()
+        for stream in self.streams():
+            gens = self.generations(stream)
+            live = policy.live(gens, pinned=pinned)
+            for generation in gens:
+                if generation not in live:
+                    try:
+                        dead = self.read_manifest(stream, generation, verify=False)
+                        candidates.update(
+                            self._chunk_key(ref.digest, dead.codec)
+                            for ref in dead.chunks
+                        )
+                    except StorageError:
+                        pass  # unreadable manifest references nothing
+                    self.delete_generation(stream, generation)
+                    removed += 1
+        if candidates:
+            referenced = self._referenced_chunk_keys()
+            for key in candidates - referenced:
+                self.backend.delete(key)
+        return removed
+
+    def sweep_orphans(self) -> int:
+        """Full mark-and-sweep: delete every chunk no manifest references.
+
+        O(entire store); meant for off-hot-path moments — after a failed
+        attempt (reclaiming a torn write's chunks) or administratively.
+        """
+        referenced = self._referenced_chunk_keys()
+        swept = 0
+        for key in self.backend.keys("objects/"):
+            if key not in referenced:
+                self.backend.delete(key)
+                swept += 1
+        return swept
+
+    def _referenced_chunk_keys(self) -> set[str]:
+        referenced: set[str] = set()
+        for stream in self.streams():
+            for generation in self.generations(stream):
+                try:
+                    manifest = self.read_manifest(stream, generation, verify=False)
+                except StorageError:
+                    continue  # unreadable manifest references nothing
+                referenced.update(
+                    self._chunk_key(ref.digest, manifest.codec)
+                    for ref in manifest.chunks
+                )
+        return referenced
+
+    def wipe(self) -> None:
+        self.backend.wipe()
+        self.mutations += 1

@@ -76,6 +76,11 @@ class StorageError(CheckpointError):
     """Stable storage failure (corrupt frame, missing commit record...)."""
 
 
+class ManifestCorruptError(StorageError):
+    """A generation manifest failed its checksum — the generation is torn
+    or bit-rotted and must not be used for recovery."""
+
+
 class PrecompilerError(ReproError):
     """The source-to-source precompiler rejected or mis-handled input."""
 

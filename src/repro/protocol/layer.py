@@ -35,6 +35,7 @@ exactly the paper's color-bit reasoning applied to collectives.
 from __future__ import annotations
 
 import copy
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -69,6 +70,21 @@ RESTORE_BASE = -1_000_000_000
 
 #: Pseudo-handle id denoting the world communicator.
 WORLD_HANDLE = -1
+
+
+def _accepts_nprocs(commit: Callable[..., Any]) -> bool:
+    """Whether a storage's ``commit`` takes the (1.2+) ``nprocs`` keyword.
+
+    Decided once by signature inspection — a runtime TypeError fallback
+    would mask genuine TypeErrors raised inside a modern commit.
+    """
+    try:
+        params = inspect.signature(commit).parameters
+    except (TypeError, ValueError):  # builtins/uninspectable: assume modern
+        return True
+    return "nprocs" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
 
 
 @dataclass
@@ -115,6 +131,11 @@ class LayerStats:
     replayed_collectives: int = 0
     control_messages: int = 0
     log_finalizations: int = 0
+    #: Checkpoint-storage accounting from per-generation manifests: what a
+    #: flat pickle store would have written vs. what actually hit storage.
+    ckpt_logical_bytes: int = 0
+    ckpt_stored_bytes: int = 0
+    ckpt_chunks_reused: int = 0
 
 
 class C3Layer:
@@ -148,6 +169,7 @@ class C3Layer:
         #: Per-communicator collective call sequence (world = WORLD_HANDLE).
         self.coll_seqs: dict[int, int] = {WORLD_HANDLE: 0}
         self.stats = LayerStats()
+        self._commit_accepts_nprocs = _accepts_nprocs(storage.commit)
         self.initiator: Optional[Initiator] = None
         if self.rank == config.initiator_rank and config.protocol_enabled:
             self.initiator = Initiator(
@@ -157,6 +179,9 @@ class C3Layer:
                 commit=self._commit,
                 now=self.comm.wtime,
             )
+        #: Per-generation storage manifests for this rank's checkpoints,
+        #: in wave order (observability; see :mod:`repro.ckpt`).
+        self.generation_manifests: list[Any] = []
         #: Hook invoked right after a local checkpoint is written (tests).
         self.on_checkpoint: Optional[Callable[[CheckpointData], None]] = None
 
@@ -171,7 +196,12 @@ class C3Layer:
             self.comm.send(msg, dest, tag=TAG_CONTROL)
 
     def _commit(self, epoch: int, now: float) -> None:
-        self.storage.commit(epoch, now)
+        if self._commit_accepts_nprocs:
+            self.storage.commit(epoch, now, nprocs=self.nprocs)
+        else:
+            # Custom storages implementing the pre-1.2 two-argument commit
+            # keep working; they just forgo validated N->N-1 fallback.
+            self.storage.commit(epoch, now)
         self.storage.gc(self.nprocs, keep_epoch=epoch)
 
     def _progress(self) -> None:
@@ -692,7 +722,12 @@ class C3Layer:
             app_state=app_state,
             taken_at=self.comm.wtime(),
         )
-        self.storage.write_state(self.rank, self.state.epoch, data)
+        manifest = self.storage.write_state(self.rank, self.state.epoch, data)
+        if manifest is not None:  # custom storages may return nothing
+            self.generation_manifests.append(manifest)
+            self.stats.ckpt_logical_bytes += manifest.logical_bytes
+            self.stats.ckpt_stored_bytes += manifest.stored_bytes
+            self.stats.ckpt_chunks_reused += manifest.reused_chunks
         self.stats.checkpoints_taken += 1
         for q in self.state.receivers:
             self._send_control(

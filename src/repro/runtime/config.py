@@ -54,6 +54,19 @@ class RunConfig:
     checkpoint_interval: Optional[float] = 0.030
     codec: str = "packed"
     storage_path: Optional[str] = None
+    #: Checkpoint-storage engine knobs (see :mod:`repro.ckpt`): chunk
+    #: compression codec ("none", "zlib", "lzma", or anything registered
+    #: with :func:`repro.ckpt.register_chunk_codec`), …
+    ckpt_codec: str = "none"
+    #: … incremental snapshots (dedupe chunks against prior generations), …
+    ckpt_incremental: bool = True
+    #: … retention (keep the newest K generations, plus every Nth epoch —
+    #: keep_last >= 2 enables fallback to generation N-1 when the newest
+    #: committed generation is torn or corrupt), …
+    ckpt_keep_last: int = 1
+    ckpt_keep_every: Optional[int] = None
+    #: … and the content-addressing granularity.
+    ckpt_chunk_size: int = 65536
     max_restarts: int = 16
     sched_policy: str = "random"
     ordering: str = "per_tag_fifo"
@@ -68,6 +81,12 @@ class RunConfig:
             raise ConfigError("max_restarts must be >= 0")
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ConfigError("checkpoint_interval must be positive or None")
+        if self.ckpt_keep_last < 1:
+            raise ConfigError("ckpt_keep_last must be >= 1")
+        if self.ckpt_keep_every is not None and self.ckpt_keep_every < 1:
+            raise ConfigError("ckpt_keep_every must be >= 1 or None")
+        if self.ckpt_chunk_size < 1:
+            raise ConfigError("ckpt_chunk_size must be positive")
 
     def c3_config(self) -> C3Config:
         """Derive the protocol-layer configuration for this variant."""

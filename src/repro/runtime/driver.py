@@ -86,8 +86,16 @@ def run_with_recovery(
     plus attempt/overhead accounting.  Raises :class:`RecoveryError` when
     ``config.max_restarts`` is exceeded.
     """
-    storage = storage if storage is not None else Storage(config.storage_path)
-    failures = failures or FailureSchedule.none()
+    storage = storage if storage is not None else Storage.from_config(config)
+    failures = failures if failures is not None else FailureSchedule.none()
+    # Mid-checkpoint crashes fire inside the storage write path, not at a
+    # scheduling point; the store realises them (torn generation +
+    # ProcessKilled) when the doomed rank writes the doomed epoch.  Always
+    # (re)assigned so a crash left unfired by an earlier run on a reused
+    # storage cannot leak into this one.
+    storage.crash_plan = (
+        failures if failures.remaining_checkpoint_crashes() else None
+    )
     c3cfg = config.c3_config()
     # V0 "Unmodified Program" runs on the raw communicator: no layer, no
     # piggyback word, no protocol state — the paper's true baseline.
@@ -173,6 +181,11 @@ def run_with_recovery(
                 f"exceeded max_restarts={config.max_restarts}; "
                 f"last failure killed ranks {result.dead_ranks}"
             )
+        # A failure may have torn a checkpoint write mid-flight, leaving
+        # chunks with no manifest; reclaim them here, off the hot path.
+        sweep = getattr(storage, "sweep_orphans", None)
+        if sweep is not None:
+            sweep()
 
     outcome.total_wall_seconds = time.perf_counter() - wall_start
     outcome.checkpoints_committed = storage.commits - commits_at_start
@@ -199,9 +212,14 @@ def run_variant_suite(
     Prefer :meth:`repro.Session.sweep`, which executes the same cells — in
     parallel, with identical results.
     """
-    factory = storage_factory if storage_factory is not None else lambda: Storage(None)
     outcomes: dict[Variant, RunOutcome] = {}
     for variant in variants:
         cfg = replace(base_config, variant=variant)
-        outcomes[variant] = run_with_recovery(app_main, cfg, storage=factory())
+        if storage_factory is not None:
+            storage = storage_factory()
+        else:
+            # In-memory per variant (never a shared directory), but with
+            # the config's ckpt_* knobs honoured.
+            storage = Storage.from_config(replace(cfg, storage_path=None))
+        outcomes[variant] = run_with_recovery(app_main, cfg, storage=storage)
     return outcomes

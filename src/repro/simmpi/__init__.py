@@ -23,7 +23,7 @@ from repro.simmpi.clock import CostModel, VirtualClock
 from repro.simmpi.comm import Comm
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, TAG_CONTROL
 from repro.simmpi.failure_detector import HeartbeatFailureDetector
-from repro.simmpi.failures import FailureSchedule, KillEvent
+from repro.simmpi.failures import CheckpointCrash, FailureSchedule, KillEvent
 from repro.simmpi.group import Group
 from repro.simmpi.message import Envelope
 from repro.simmpi.op import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
@@ -45,6 +45,7 @@ __all__ = [
     "MINLOC",
     "PROD",
     "SUM",
+    "CheckpointCrash",
     "Comm",
     "CostModel",
     "Envelope",

@@ -30,12 +30,55 @@ class KillEvent:
             raise ConfigError(f"kill rank must be >= 0, got {self.rank}")
 
 
-class FailureSchedule:
-    """An ordered schedule of stopping faults consumed by the scheduler."""
+@dataclass(frozen=True)
+class CheckpointCrash:
+    """Kill ``rank`` *while it is writing* its checkpoint for ``epoch``.
 
-    def __init__(self, events: Iterable[KillEvent] = ()) -> None:
+    Time-indexed kills (:class:`KillEvent`) land between MPI calls; this
+    event lands inside stable storage's write path, after exactly
+    ``after_chunks`` chunks of the checkpoint have been processed (written
+    or deduped; 0 means before any byte lands) and always before the
+    generation manifest is published — the torn-write scenario the storage
+    engine's two-phase commit must survive (recovery falls back to the
+    previous committed generation).  With ``corrupt_manifest=True`` the
+    write instead completes but publishes a checksum-invalid manifest, so
+    recovery must *reject* generation ``epoch`` rather than miss it.
+    """
+
+    rank: int
+    epoch: int
+    after_chunks: int = 1
+    corrupt_manifest: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigError(f"crash rank must be >= 0, got {self.rank}")
+        if self.epoch < 1:
+            raise ConfigError(f"crash epoch must be >= 1, got {self.epoch}")
+        if self.after_chunks < 0:
+            raise ConfigError(
+                f"after_chunks must be >= 0, got {self.after_chunks}"
+            )
+
+
+class FailureSchedule:
+    """An ordered schedule of stopping faults consumed by the scheduler.
+
+    Two event families share the schedule: time-indexed :class:`KillEvent`
+    kills (consumed by the scheduler) and :class:`CheckpointCrash` events
+    (consumed by stable storage mid-write).  Both are stateful across
+    recovery attempts: an event consumed in attempt *n* does not fire in
+    attempt *n+1* — the faulty node has been replaced.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[KillEvent] = (),
+        checkpoint_crashes: Iterable[CheckpointCrash] = (),
+    ) -> None:
         self._events = sorted(events, key=lambda e: (e.time, e.rank))
         self._cursor = 0
+        self._checkpoint_crashes = list(checkpoint_crashes)
 
     @classmethod
     def none(cls) -> "FailureSchedule":
@@ -44,6 +87,22 @@ class FailureSchedule:
     @classmethod
     def single(cls, time: float, rank: int) -> "FailureSchedule":
         return cls((KillEvent(time, rank),))
+
+    @classmethod
+    def during_checkpoint(
+        cls,
+        rank: int,
+        epoch: int,
+        after_chunks: int = 1,
+        corrupt_manifest: bool = False,
+    ) -> "FailureSchedule":
+        """Kill ``rank`` in the middle of writing its ``epoch`` checkpoint."""
+        return cls(
+            (),
+            checkpoint_crashes=(
+                CheckpointCrash(rank, epoch, after_chunks, corrupt_manifest),
+            ),
+        )
 
     @classmethod
     def random_single(
@@ -75,6 +134,16 @@ class FailureSchedule:
     def remaining(self) -> list[KillEvent]:
         return list(self._events[self._cursor:])
 
+    def take_checkpoint_crash(self, rank: int, epoch: int) -> CheckpointCrash | None:
+        """Pop the crash armed for ``(rank, epoch)``, if any (fires once)."""
+        for index, crash in enumerate(self._checkpoint_crashes):
+            if crash.rank == rank and crash.epoch == epoch:
+                return self._checkpoint_crashes.pop(index)
+        return None
+
+    def remaining_checkpoint_crashes(self) -> tuple[CheckpointCrash, ...]:
+        return tuple(self._checkpoint_crashes)
+
     def reset(self) -> None:
         """Rewind the schedule (a fresh simulator run replays it)."""
         self._cursor = 0
@@ -87,3 +156,8 @@ class FailureSchedule:
 
     def __len__(self) -> int:
         return len(self._events)
+
+    def __bool__(self) -> bool:
+        """Truthiness covers *both* event families — a schedule holding only
+        mid-checkpoint crashes must not read as empty."""
+        return bool(self._events or self._checkpoint_crashes)

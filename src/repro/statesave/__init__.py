@@ -1,4 +1,9 @@
-"""Application and library state saving (paper Section 5)."""
+"""Application and library state saving (paper Section 5).
+
+Stable storage (:class:`Storage`) is a facade over the tiered checkpoint
+engine in :mod:`repro.ckpt` — backends, compression codecs, incremental
+generations, retention and crash-consistent commit all live there.
+"""
 
 from repro.statesave.format import CheckpointData
 from repro.statesave.globals_registry import GlobalsRegistry

@@ -1,176 +1,320 @@
-"""Stable storage for checkpoints.
+"""Stable storage for checkpoints, backed by the :mod:`repro.ckpt` engine.
 
-Layout on disk::
+Layout inside the engine's backend (in-memory or a directory)::
 
-    <root>/
-        rank<r>/epoch<e>.state   -- CheckpointData, framed+CRC
-        rank<r>/epoch<e>.log     -- EpochLogs, framed+CRC (written later,
-                                    at finalizeLog)
-        COMMIT                   -- commit record naming the recovery epoch
+    objects/<codec>/<d0d1>/<digest>          -- content-addressed chunks
+    manifests/rank<r>/state/gen<e>.mft       -- CheckpointData generations
+    manifests/rank<r>/log/gen<e>.mft         -- EpochLogs generations
+    refs/COMMIT                              -- commit history (framed+CRC)
 
 Commit discipline (paper Section 4.1, phase 4): the initiator writes the
 commit record only after every process has reported ``stoppedLogging`` — so
 a committed epoch is guaranteed to have both the state and the log of every
-rank on disk.  Recovery always starts from ``committed_epoch()``; a crash
-mid-wave leaves partial ``epoch e+1`` files that are simply ignored (and
-garbage-collected by :meth:`Storage.gc`).
+rank on disk.  Recovery always starts from :meth:`Storage.committed_epoch`,
+which walks the commit history newest-first and *validates* each candidate
+generation (manifest checksum + chunk digests): a committed generation that
+has since been torn or bit-rotted is rejected and recovery falls back to
+the newest older commit still retained — keep at least two generations
+(``keep_last=2``) to make that fallback possible.
 
-An in-memory backend (`Storage(path=None)`) supports fast tests and
-benchmarks; the filesystem backend performs atomic writes (tmp + fsync +
-rename) so a torn write can never masquerade as a checkpoint.
+Every generation write is the engine's two-phase commit (chunks, then one
+atomic checksummed manifest), so a crash mid-write — including the injected
+:class:`~repro.simmpi.failures.CheckpointCrash` scenario — never destroys
+the previous generation.  Incremental mode and per-chunk compression are
+selected per store; :meth:`Storage.from_config` reads them from the
+``ckpt_*`` fields of :class:`~repro.runtime.config.RunConfig`.
 """
 
 from __future__ import annotations
 
-import io
-import os
 import time
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
-from repro.errors import StorageError
-from repro.util.serialization import atomic_write_bytes, dumps_framed, loads_framed
+from repro.ckpt.backends import DirectoryBackend, MemoryBackend
+from repro.ckpt.delta import DEFAULT_CHUNK_SIZE
+from repro.ckpt.manifest import GenerationManifest
+from repro.ckpt.retention import RetentionPolicy
+from repro.ckpt.store import STAGE_MANIFEST, CheckpointStore
+from repro.errors import ProcessKilled, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.failures import CheckpointCrash, FailureSchedule
+
+#: Name of the commit-history record in the engine's refs/ region.
+COMMIT_RECORD = "COMMIT"
 
 
 @dataclass
 class CommitRecord:
-    """Names the global checkpoint to be used for recovery."""
+    """Names one committed global checkpoint.
+
+    ``nprocs`` lets :meth:`Storage.committed_epoch` validate the epoch's
+    generations without outside help; ``None`` (a record written by code
+    that did not know the world size) disables validation for that entry.
+    """
 
     epoch: int
     committed_at: float
     wall_time: float
+    nprocs: Optional[int] = None
 
 
 class Storage:
-    """Checkpoint store; filesystem-backed or in-memory."""
+    """Checkpoint store; filesystem-backed or in-memory.
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    The constructor keeps its historical shape — ``Storage()`` is an
+    in-memory store, ``Storage(path)`` persists under ``path`` — and the
+    keyword knobs select the engine's behaviour.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        codec: str = "none",
+        incremental: bool = True,
+        keep_last: int = 1,
+        keep_every: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
         self.path = path
-        self._mem: dict[str, bytes] = {}
-        #: Cumulative bytes written (benchmark observability).
-        self.bytes_written = 0
+        backend = MemoryBackend() if path is None else DirectoryBackend(path)
+        self.store = CheckpointStore(
+            backend,
+            codec=codec,
+            incremental=incremental,
+            retention=RetentionPolicy(keep_last=keep_last, keep_every=keep_every),
+            chunk_size=chunk_size,
+        )
+        #: Logical checkpoint-object writes (state/log/commit), not backend puts.
         self.writes = 0
         #: Commit events observed on this store (one per checkpoint wave);
         #: the driver diffs it to count waves committed during a run.
         self.commits = 0
-        if path is not None:
-            os.makedirs(path, exist_ok=True)
+        #: Failure schedule whose mid-checkpoint crashes this store realises
+        #: (armed by the recovery driver; None outside fault experiments).
+        self.crash_plan: Optional["FailureSchedule"] = None
+        #: Epochs whose deep validation already passed (see validate_epoch),
+        #: invalidated wholesale when the store's mutation stamp moves.
+        self._validated_epochs: set[tuple[int, int]] = set()
+        self._validated_stamp = 0
+
+    @classmethod
+    def from_config(cls, config: Any) -> "Storage":
+        """Build a store from a :class:`RunConfig`-shaped object's
+        ``storage_path`` and ``ckpt_*`` fields (absent fields default)."""
+        return cls(
+            getattr(config, "storage_path", None),
+            codec=getattr(config, "ckpt_codec", "none"),
+            incremental=getattr(config, "ckpt_incremental", True),
+            keep_last=getattr(config, "ckpt_keep_last", 1),
+            keep_every=getattr(config, "ckpt_keep_every", None),
+            chunk_size=getattr(config, "ckpt_chunk_size", DEFAULT_CHUNK_SIZE),
+        )
 
     # ------------------------------------------------------------------ #
-    # Raw keyed blob IO.
+    # Engine observability.
     # ------------------------------------------------------------------ #
 
-    def _key(self, rank: int, epoch: int, part: str) -> str:
-        return os.path.join(f"rank{rank}", f"epoch{epoch}.{part}")
+    @property
+    def bytes_written(self) -> int:
+        """Cumulative encoded bytes that reached the backend."""
+        return self.store.bytes_written
 
-    def _write(self, key: str, obj: Any) -> None:
-        blob = dumps_framed(obj)
-        self.bytes_written += len(blob)
-        self.writes += 1
-        if self.path is None:
-            self._mem[key] = blob
-        else:
-            atomic_write_bytes(os.path.join(self.path, key), blob)
-
-    def _read(self, key: str) -> Any:
-        if self.path is None:
-            blob = self._mem.get(key)
-            if blob is None:
-                raise StorageError(f"missing stable-storage object {key!r}")
-            return loads_framed(blob)
-        full = os.path.join(self.path, key)
-        if not os.path.exists(full):
-            raise StorageError(f"missing stable-storage object {key!r}")
-        with open(full, "rb") as fh:
-            return loads_framed(fh.read())
-
-    def _exists(self, key: str) -> bool:
-        if self.path is None:
-            return key in self._mem
-        return os.path.exists(os.path.join(self.path, key))
-
-    def _delete(self, key: str) -> None:
-        if self.path is None:
-            self._mem.pop(key, None)
-        else:
-            full = os.path.join(self.path, key)
-            if os.path.exists(full):
-                os.unlink(full)
+    @property
+    def logical_bytes(self) -> int:
+        """What a flat one-blob-per-checkpoint store would have written."""
+        return self.store.logical_bytes
 
     # ------------------------------------------------------------------ #
     # Checkpoint API.
     # ------------------------------------------------------------------ #
 
-    def write_state(self, rank: int, epoch: int, data: Any) -> None:
-        self._write(self._key(rank, epoch, "state"), data)
+    @staticmethod
+    def _stream(rank: int, kind: str) -> str:
+        return f"rank{rank}/{kind}"
 
-    def write_log(self, rank: int, epoch: int, logs: Any) -> None:
-        self._write(self._key(rank, epoch, "log"), logs)
+    def write_state(self, rank: int, epoch: int, data: Any) -> GenerationManifest:
+        self.writes += 1
+        crash = (
+            self.crash_plan.take_checkpoint_crash(rank, epoch)
+            if self.crash_plan is not None
+            else None
+        )
+        stream = self._stream(rank, "state")
+        if crash is None:
+            return self.store.save(stream, epoch, data)
+        return self._crashing_write(stream, rank, epoch, data, crash)
+
+    def _crashing_write(
+        self, stream: str, rank: int, epoch: int, data: Any, crash: "CheckpointCrash"
+    ) -> GenerationManifest:
+        """Realise a :class:`CheckpointCrash`: die mid-write, leaving either
+        a torn (unpublished) generation or a checksum-invalid manifest."""
+        at_time = float(getattr(data, "taken_at", 0.0))
+        if crash.corrupt_manifest:
+            self.store.save(stream, epoch, data)
+            self.store.corrupt_manifest(stream, epoch)
+            raise ProcessKilled(rank, at_time)
+
+        def progress(stage: str, index: int, total: int) -> None:
+            # The hook fires before chunk ``index`` is processed: raising
+            # at index == after_chunks leaves exactly that many chunks
+            # persisted.  The manifest stage raises unconditionally, so the
+            # generation is torn even when the payload has fewer chunks
+            # than after_chunks.
+            if stage == STAGE_MANIFEST or index >= crash.after_chunks:
+                raise ProcessKilled(rank, at_time)
+
+        return self.store.save(stream, epoch, data, progress=progress)
+
+    def write_log(self, rank: int, epoch: int, logs: Any) -> GenerationManifest:
+        self.writes += 1
+        return self.store.save(self._stream(rank, "log"), epoch, logs)
 
     def read_state(self, rank: int, epoch: int) -> Any:
-        return self._read(self._key(rank, epoch, "state"))
+        return self._load(self._stream(rank, "state"), epoch)
 
     def read_log(self, rank: int, epoch: int) -> Any:
-        return self._read(self._key(rank, epoch, "log"))
+        return self._load(self._stream(rank, "log"), epoch)
+
+    def _load(self, stream: str, epoch: int) -> Any:
+        if not self.store.has_generation(stream, epoch):
+            raise StorageError(
+                f"missing stable-storage object {stream!r} epoch {epoch}"
+            )
+        return self.store.load(stream, epoch)
+
+    def state_manifest(self, rank: int, epoch: int) -> GenerationManifest:
+        """The recorded manifest of one rank's state generation."""
+        return self.store.read_manifest(self._stream(rank, "state"), epoch)
 
     def has_complete_epoch(self, nprocs: int, epoch: int) -> bool:
         """True if every rank's state *and* log for ``epoch`` is present."""
         return all(
-            self._exists(self._key(r, epoch, "state"))
-            and self._exists(self._key(r, epoch, "log"))
-            for r in range(nprocs)
+            self.store.has_generation(self._stream(rank, kind), epoch)
+            for rank in range(nprocs)
+            for kind in ("state", "log")
         )
+
+    def validate_epoch(self, nprocs: int, epoch: int) -> bool:
+        """Deep check: every rank's state and log generation for ``epoch``
+        reassembles byte-perfectly (manifest checksum + chunk digests).
+
+        A passing verdict is cached per store instance: recovery calls this
+        at the top of every attempt and must not re-read the whole global
+        checkpoint each time.  Failures are never cached (a re-written
+        generation may validate later).
+
+        Deliberate tradeoff: the deep check costs one extra full read of
+        the candidate generation per restart, but it is what lets recovery
+        *fall back* to an older commit on chunk bit rot — a cheap
+        manifest-only check would defer detection to ``load()``, which can
+        only raise, not fall back.
+        """
+        if self.store.mutations != self._validated_stamp:
+            self._validated_epochs.clear()
+            self._validated_stamp = self.store.mutations
+        key = (nprocs, epoch)
+        if key in self._validated_epochs:
+            return True
+        ok = all(
+            self.store.validate_generation(self._stream(rank, kind), epoch)
+            for rank in range(nprocs)
+            for kind in ("state", "log")
+        )
+        if ok:
+            self._validated_epochs.add(key)
+        return ok
 
     # ------------------------------------------------------------------ #
     # Commit record.
     # ------------------------------------------------------------------ #
 
-    def commit(self, epoch: int, virtual_time: float) -> None:
-        record = CommitRecord(
-            epoch=epoch, committed_at=virtual_time, wall_time=time.time()
+    def _commit_history(self) -> list[CommitRecord]:
+        if not self.store.has_record(COMMIT_RECORD):
+            return []
+        return list(self.store.get_record(COMMIT_RECORD))
+
+    def commit(
+        self, epoch: int, virtual_time: float, nprocs: Optional[int] = None
+    ) -> None:
+        history = self._commit_history()
+        history.append(
+            CommitRecord(
+                epoch=epoch,
+                committed_at=virtual_time,
+                wall_time=time.time(),
+                nprocs=nprocs,
+            )
         )
-        self._write("COMMIT", record)
+        self.writes += 1
+        self.store.put_record(COMMIT_RECORD, history)
         self.commits += 1
 
     def committed_epoch(self) -> Optional[int]:
-        """Epoch of the last committed global checkpoint, or None."""
-        if not self._exists("COMMIT"):
-            return None
-        record = self._read("COMMIT")
-        return record.epoch
+        """Epoch of the newest committed global checkpoint that still
+        validates, or None.
+
+        A record whose generations are torn or corrupt is skipped and the
+        next older retained commit is tried — the generation-N → N-1
+        fallback.  A record written without ``nprocs`` cannot be deep-
+        validated; it is trusted as long as *some* generation for its epoch
+        still exists (so a gc'd epoch falls through instead of sending
+        recovery into a missing-object error).
+        """
+        for record in reversed(self._commit_history()):
+            if record.nprocs is not None:
+                if self.validate_epoch(record.nprocs, record.epoch):
+                    return record.epoch
+            elif self._epoch_present(record.epoch):
+                return record.epoch
+        return None
+
+    def _epoch_present(self, epoch: int) -> bool:
+        """Loose retention check for records lacking ``nprocs``: the epoch
+        counts as present while some generation of it survives — or while
+        the store holds no generations at all (commit-record-only usage,
+        where there is nothing to cross-check)."""
+        streams = self.store.streams()
+        if not streams:
+            return True
+        return any(epoch in self.store.generations(stream) for stream in streams)
 
     def gc(self, nprocs: int, keep_epoch: int) -> int:
-        """Delete state/log files for epochs other than ``keep_epoch``.
+        """Apply the retention policy with ``keep_epoch`` pinned.
 
-        Returns the number of objects removed.  Called after a commit; the
-        paper assumes only the latest committed checkpoint is retained.
+        Returns the number of generation manifests removed.  Called after a
+        commit; the paper's discipline (only the latest committed checkpoint
+        retained) is the default ``keep_last=1`` policy.
         """
-        removed = 0
-        if self.path is None:
-            for key in list(self._mem):
-                if key == "COMMIT":
-                    continue
-                epoch = int(key.rsplit("epoch", 1)[1].split(".")[0])
-                if epoch != keep_epoch:
-                    del self._mem[key]
-                    removed += 1
-            return removed
-        for rank in range(nprocs):
-            rank_dir = os.path.join(self.path, f"rank{rank}")
-            if not os.path.isdir(rank_dir):
-                continue
-            for name in os.listdir(rank_dir):
-                epoch = int(name.rsplit("epoch", 1)[1].split(".")[0])
-                if epoch != keep_epoch:
-                    os.unlink(os.path.join(rank_dir, name))
-                    removed += 1
+        removed = self.store.collect(pinned=keep_epoch)
+        self._prune_commit_history()
         return removed
+
+    def _prune_commit_history(self) -> None:
+        """Drop commit records whose generations retention has deleted."""
+        history = self._commit_history()
+        live = [
+            record
+            for record in history
+            if (
+                self.has_complete_epoch(record.nprocs, record.epoch)
+                if record.nprocs is not None
+                else self._epoch_present(record.epoch)
+            )
+        ]
+        if len(live) != len(history):
+            self.store.put_record(COMMIT_RECORD, live)
+
+    def sweep_orphans(self) -> int:
+        """Reclaim chunks no manifest references (torn-write leftovers).
+
+        Full-store scan; the recovery driver runs it after a failed
+        attempt, off the checkpoint hot path."""
+        return self.store.sweep_orphans()
 
     def wipe(self) -> None:
         """Remove everything (test helper)."""
-        if self.path is None:
-            self._mem.clear()
-            return
-        for root, _dirs, files in os.walk(self.path):
-            for name in files:
-                os.unlink(os.path.join(root, name))
+        self.store.wipe()

@@ -174,7 +174,36 @@ class TestSweep:
         cell_dirs = sorted(os.listdir(tmp_path / "ckpt"))
         assert len(cell_dirs) == 2
         for d in cell_dirs:
-            assert os.path.exists(tmp_path / "ckpt" / d / "COMMIT")
+            assert os.path.exists(tmp_path / "ckpt" / d / "refs" / "COMMIT")
+
+    def test_ckpt_knobs_honoured_without_storage_path(self):
+        """ckpt_* knobs must reach the default in-memory storage too —
+        the compressed run writes fewer bytes, the results are identical."""
+        flat = Session().run(
+            "ring-acc", RunConfig(ckpt_incremental=False, **CFG), params=60
+        )
+        packed = Session().run(
+            "ring-acc", RunConfig(ckpt_codec="zlib", **CFG), params=60
+        )
+        assert packed.results == flat.results
+        assert packed.checkpoints_committed == flat.checkpoints_committed >= 1
+        assert packed.storage_bytes_written < flat.storage_bytes_written
+
+    def test_explicit_factory_still_wins(self):
+        counting_storage_factory.created.clear()
+        session = Session(storage_factory=counting_storage_factory)
+        session.run("ring-acc", RunConfig(**CFG))
+        assert len(counting_storage_factory.created) == 1
+
+    def test_storage_path_beats_session_factory_in_sweep(self, tmp_path):
+        """run() and sweep() agree: a config naming a storage_path persists
+        even when the session carries a default factory."""
+        counting_storage_factory.created.clear()
+        session = Session(storage_factory=counting_storage_factory)
+        cfg = RunConfig(storage_path=str(tmp_path / "ckpt"), **CFG)
+        session.sweep("ring-acc", cfg, variants=(Variant.FULL,))
+        assert counting_storage_factory.created == []
+        assert (tmp_path / "ckpt").exists()
 
     def test_by_variant_requires_unique_variants(self):
         result = Session().sweep(

@@ -1,0 +1,251 @@
+"""CheckpointStore engine: delta, compression, two-phase commit, GC."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    CheckpointStore,
+    DirectoryBackend,
+    MemoryBackend,
+    RetentionPolicy,
+    split_chunks,
+)
+from repro.ckpt.store import STAGE_MANIFEST
+from repro.errors import ManifestCorruptError, StorageError
+
+
+def make_store(tmp_path=None, **kwargs):
+    backend = MemoryBackend() if tmp_path is None else DirectoryBackend(str(tmp_path))
+    return CheckpointStore(backend, **kwargs)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self):
+        store = make_store()
+        obj = {"grid": np.arange(1000.0), "step": 7}
+        store.save("rank0/state", 1, obj)
+        back = store.load("rank0/state", 1)
+        assert back["step"] == 7
+        assert np.array_equal(back["grid"], obj["grid"])
+
+    def test_aliasing_survives_roundtrip(self):
+        """The whole point of single-stream pickling: shared objects come
+        back shared, not duplicated (paper Section 5.1.4)."""
+        shared = [1, 2, 3]
+        obj = {"a": shared, "b": shared}
+        store = make_store()
+        store.save("s", 1, obj)
+        back = store.load("s", 1)
+        assert back["a"] is back["b"]
+
+    def test_multi_chunk_payload(self):
+        store = make_store(chunk_size=1024)
+        obj = np.arange(4096.0)  # 32 KB payload => many chunks
+        manifest = store.save("s", 1, obj)
+        assert len(manifest.chunks) > 10
+        assert np.array_equal(store.load("s", 1), obj)
+
+    def test_empty_and_tiny_payloads(self):
+        store = make_store()
+        for gen, obj in enumerate((None, b"", 0, {}), start=1):
+            store.save("s", gen, obj)
+            assert store.load("s", gen) == obj
+
+    def test_split_chunks_covers_payload(self):
+        payload = bytes(range(256)) * 10
+        chunks = split_chunks(payload, 100)
+        assert b"".join(chunks) == payload
+        assert split_chunks(b"", 100) == [b""]
+
+
+class TestIncremental:
+    def test_unchanged_state_costs_no_chunk_bytes(self):
+        store = make_store(chunk_size=512)
+        obj = {"matrix": np.ones(2048)}
+        m1 = store.save("s", 1, obj)
+        m2 = store.save("s", 2, obj)
+        assert m1.stored_bytes > 0
+        assert m2.stored_bytes == 0  # every chunk deduped
+        assert m2.reused_chunks == len(m2.chunks)
+
+    def test_partial_change_writes_only_changed_chunks(self):
+        store = make_store(chunk_size=1024)
+        arr = np.zeros(8192)
+        store.save("s", 1, {"a": arr})
+        arr[0] = 99.0  # touch the first chunk only
+        m2 = store.save("s", 2, {"a": arr})
+        assert 0 < m2.stored_bytes < m2.payload_length // 4
+        assert m2.reused_chunks > len(m2.chunks) // 2
+
+    def test_full_mode_always_writes(self):
+        store = make_store(incremental=False, chunk_size=512)
+        obj = {"x": np.ones(1024)}
+        m1 = store.save("s", 1, obj)
+        m2 = store.save("s", 2, obj)
+        assert m2.stored_bytes == m1.stored_bytes > 0
+
+    def test_dedup_crosses_streams(self):
+        store = make_store(chunk_size=512)
+        obj = np.arange(2048.0)
+        store.save("rank0/state", 1, obj)
+        m = store.save("rank1/state", 1, obj)
+        assert m.stored_bytes == 0
+
+
+class TestCompression:
+    def test_zlib_stores_fewer_bytes(self):
+        obj = {"grid": np.zeros(65536)}  # highly compressible
+        flat = make_store(codec="none")
+        packed = make_store(codec="zlib")
+        m_flat = flat.save("s", 1, obj)
+        m_packed = packed.save("s", 1, obj)
+        assert m_packed.stored_bytes < m_flat.stored_bytes // 10
+        assert np.array_equal(packed.load("s", 1)["grid"], obj["grid"])
+
+    def test_codec_change_does_not_poison_dedup(self, tmp_path):
+        """Chunks are keyed per codec: a store reopened with a different
+        codec must not dedupe against bytes it cannot decode."""
+        obj = {"m": np.arange(4096.0)}
+        first = make_store(tmp_path, codec="zlib", chunk_size=1024)
+        first.save("s", 1, obj)
+        second = make_store(tmp_path, codec="none", chunk_size=1024)
+        m2 = second.save("s", 2, obj)
+        assert m2.stored_bytes > 0  # no cross-codec dedup
+        assert np.array_equal(second.load("s", 2)["m"], obj["m"])
+        assert np.array_equal(second.load("s", 1)["m"], obj["m"])
+
+    def test_codec_change_between_generations_still_loads(self, tmp_path):
+        first = make_store(tmp_path, codec="none")
+        first.save("s", 1, [1, 2, 3])
+        second = make_store(tmp_path, codec="zlib")
+        second.save("s", 2, [4, 5, 6])
+        # Each generation's manifest remembers its own codec.
+        assert second.load("s", 1) == [1, 2, 3]
+        assert second.load("s", 2) == [4, 5, 6]
+
+
+class TestTwoPhaseCommit:
+    def test_crash_before_manifest_preserves_previous_generation(self):
+        store = make_store(chunk_size=256)
+        store.save("s", 1, {"v": np.arange(512.0)})
+
+        class Boom(RuntimeError):
+            pass
+
+        def crash_mid_write(stage, index, total):
+            if stage == "chunk" and index >= 1:
+                raise Boom()
+
+        with pytest.raises(Boom):
+            store.save("s", 2, {"v": np.arange(512.0) + 1}, progress=crash_mid_write)
+        assert not store.has_generation("s", 2)
+        assert store.validate_generation("s", 1)
+        assert store.load("s", 1)["v"][3] == 3.0
+
+    def test_crash_at_manifest_publish_leaves_generation_invisible(self):
+        store = make_store()
+        store.save("s", 1, "good")
+
+        def crash_at_manifest(stage, index, total):
+            if stage == STAGE_MANIFEST:
+                raise RuntimeError("torn")
+
+        with pytest.raises(RuntimeError):
+            store.save("s", 2, "doomed", progress=crash_at_manifest)
+        assert store.generations("s") == [1]
+        # Orphaned chunks from the torn write are reclaimed by the full
+        # sweep (the recovery driver runs it after a failed attempt).
+        assert store.sweep_orphans() >= 1
+        assert store.load("s", 1) == "good"
+
+    def test_corrupt_manifest_is_rejected(self):
+        store = make_store()
+        store.save("s", 1, "data")
+        store.corrupt_manifest("s", 1)
+        with pytest.raises(ManifestCorruptError):
+            store.load("s", 1)
+        assert not store.validate_generation("s", 1)
+
+    def test_missing_chunk_detected(self):
+        store = make_store()
+        manifest = store.save("s", 1, "data")
+        store.backend.delete(
+            store._chunk_key(manifest.chunks[0].digest, manifest.codec)
+        )
+        with pytest.raises(StorageError):
+            store.load("s", 1)
+        assert not store.validate_generation("s", 1)
+
+
+class TestRetentionAndGC:
+    def _filled(self, **kwargs):
+        store = make_store(**kwargs)
+        for gen in range(1, 7):
+            store.save("rank0/state", gen, {"gen": gen, "pad": np.arange(100.0) * gen})
+        return store
+
+    def test_keep_last_k(self):
+        store = self._filled(retention=RetentionPolicy(keep_last=2))
+        removed = store.collect()
+        assert removed == 4
+        assert store.generations("rank0/state") == [5, 6]
+
+    def test_keep_every_nth(self):
+        store = self._filled(
+            retention=RetentionPolicy(keep_last=1, keep_every=3)
+        )
+        store.collect()
+        assert store.generations("rank0/state") == [3, 6]
+
+    def test_pinned_generation_survives(self):
+        store = self._filled(retention=RetentionPolicy(keep_last=1))
+        store.collect(pinned=2)
+        assert store.generations("rank0/state") == [2, 6]
+
+    def test_chunk_sweep_reclaims_unreferenced_bytes(self):
+        store = self._filled(retention=RetentionPolicy(keep_last=1))
+        before = len(store.backend.keys("objects/"))
+        store.collect()
+        after = len(store.backend.keys("objects/"))
+        assert after < before
+        # The survivor still loads after the sweep.
+        assert store.load("rank0/state", 6)["gen"] == 6
+
+    def test_shared_chunks_survive_sweep(self):
+        """A chunk referenced by a live generation is kept even when a dead
+        generation also referenced it."""
+        store = make_store(chunk_size=512, retention=RetentionPolicy(keep_last=1))
+        constant = np.arange(1024.0)
+        store.save("s", 1, {"const": constant, "step": 1})
+        store.save("s", 2, {"const": constant, "step": 2})
+        store.collect()
+        assert store.generations("s") == [2]
+        assert np.array_equal(store.load("s", 2)["const"], constant)
+
+    def test_retention_policy_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RetentionPolicy(keep_last=0)
+        with pytest.raises(ConfigError):
+            RetentionPolicy(keep_every=0)
+
+
+class TestRecords:
+    def test_record_roundtrip(self, tmp_path):
+        store = make_store(tmp_path)
+        assert not store.has_record("COMMIT")
+        store.put_record("COMMIT", [{"epoch": 3}])
+        assert store.get_record("COMMIT") == [{"epoch": 3}]
+
+
+class TestAccounting:
+    def test_logical_vs_stored_bytes(self):
+        store = make_store(codec="zlib", chunk_size=1024)
+        obj = {"zeros": np.zeros(16384)}
+        store.save("s", 1, obj)
+        store.save("s", 2, obj)
+        assert store.logical_bytes > 2 * 16384 * 8
+        assert store.bytes_written < store.logical_bytes // 10
+        assert store.chunks_reused > 0
+        assert store.generations_saved == 2

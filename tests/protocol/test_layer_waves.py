@@ -89,7 +89,31 @@ class TestWaveCompletion:
         assert committed >= 2
         # Only the committed epoch's objects survive garbage collection.
         assert storage.has_complete_epoch(2, committed)
-        assert not storage._exists(storage._key(0, committed - 1, "state"))
+        assert not storage.store.has_generation("rank0/state", committed - 1)
+
+
+class TestLegacyStorageCompat:
+    def test_two_argument_commit_still_supported(self):
+        """Custom storages implementing the pre-1.2 ``commit(epoch, vt)``
+        signature must keep working under the layer's commit path."""
+
+        class LegacyStorage(Storage):
+            def commit(self, epoch, virtual_time):  # no nprocs kwarg
+                return super().commit(epoch, virtual_time)
+
+        storage = LegacyStorage()
+
+        def main(ctx):
+            layer = wire(ctx, storage, interval=0.001)
+            for i in range(60):
+                layer.send(i, (ctx.rank + 1) % ctx.size, tag=1)
+                layer.recv(source=(ctx.rank - 1) % ctx.size, tag=1)
+                layer.potential_checkpoint()
+            return layer.state.epoch
+
+        result = run_simple(main, nprocs=2, seed=1)
+        assert result.completed
+        assert storage.committed_epoch() is not None
 
 
 class TestLoggingBehaviour:

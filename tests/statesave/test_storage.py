@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import ManifestCorruptError, StorageError
 from repro.statesave.format import CheckpointData
 from repro.statesave.storage import Storage
 from repro.util.serialization import FrameCorruptError
@@ -82,32 +82,167 @@ class TestGC:
         assert storage.committed_epoch() == 3
 
 
+def _chunk_files(root):
+    out = []
+    for dirpath, _dirs, files in os.walk(os.path.join(root, "objects")):
+        out.extend(os.path.join(dirpath, name) for name in files)
+    return sorted(out)
+
+
 class TestCorruption:
-    def test_bitflip_detected_on_disk(self, tmp_path):
+    def test_chunk_bitflip_detected_on_disk(self, tmp_path):
         storage = Storage(str(tmp_path))
         storage.write_state(0, 1, ckpt())
-        path = os.path.join(str(tmp_path), "rank0", "epoch1.state")
+        (path,) = _chunk_files(str(tmp_path))
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(StorageError):
+            storage.read_state(0, 1)
+
+    def test_chunk_truncation_detected_on_disk(self, tmp_path):
+        storage = Storage(str(tmp_path))
+        storage.write_state(0, 1, ckpt())
+        (path,) = _chunk_files(str(tmp_path))
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(StorageError):
+            storage.read_state(0, 1)
+
+    def test_manifest_bitflip_detected_on_disk(self, tmp_path):
+        storage = Storage(str(tmp_path))
+        storage.write_state(0, 1, ckpt())
+        path = os.path.join(
+            str(tmp_path), "manifests", "rank0", "state", "gen00000001.mft"
+        )
         blob = bytearray(open(path, "rb").read())
         blob[len(blob) // 2] ^= 0xFF
         open(path, "wb").write(bytes(blob))
         with pytest.raises(FrameCorruptError):
             storage.read_state(0, 1)
 
-    def test_truncation_detected_on_disk(self, tmp_path):
-        storage = Storage(str(tmp_path))
+    def test_manifest_checksum_rejected(self, storage):
+        """A manifest whose frame is intact but whose inner checksum no
+        longer matches its contents must be rejected, not trusted."""
         storage.write_state(0, 1, ckpt())
-        path = os.path.join(str(tmp_path), "rank0", "epoch1.state")
-        blob = open(path, "rb").read()
-        open(path, "wb").write(blob[: len(blob) // 2])
-        with pytest.raises(FrameCorruptError):
+        storage.store.corrupt_manifest("rank0/state", 1)
+        with pytest.raises(ManifestCorruptError):
             storage.read_state(0, 1)
 
     def test_overwrite_is_atomic_no_residue(self, tmp_path):
         storage = Storage(str(tmp_path))
         storage.write_state(0, 1, ckpt())
         storage.write_state(0, 1, ckpt())
-        files = os.listdir(os.path.join(str(tmp_path), "rank0"))
-        assert files == ["epoch1.state"]
+        leftovers = [
+            name
+            for _dir, _dirs, files in os.walk(str(tmp_path))
+            for name in files
+            if ".tmp." in name
+        ]
+        assert leftovers == []
+        assert storage.read_state(0, 1).epoch == 1
+
+
+class TestCommitFallback:
+    """Generation N torn or corrupt => recovery restarts from N-1."""
+
+    def _two_committed_generations(self, storage, nprocs=2):
+        for epoch in (1, 2):
+            for rank in range(nprocs):
+                storage.write_state(rank, epoch, ckpt(rank, epoch))
+                storage.write_log(rank, epoch, {"epoch": epoch})
+            storage.commit(epoch, float(epoch), nprocs=nprocs)
+        return storage
+
+    @pytest.fixture(params=["memory", "disk"])
+    def deep_storage(self, request, tmp_path):
+        path = None if request.param == "memory" else str(tmp_path / "stable")
+        return Storage(path, keep_last=2)
+
+    def test_newest_commit_wins_when_valid(self, deep_storage):
+        self._two_committed_generations(deep_storage)
+        assert deep_storage.committed_epoch() == 2
+
+    def test_corrupt_manifest_falls_back_to_previous_generation(self, deep_storage):
+        self._two_committed_generations(deep_storage)
+        deep_storage.store.corrupt_manifest("rank1/state", 2)
+        assert deep_storage.committed_epoch() == 1
+
+    def test_torn_generation_falls_back_to_previous_generation(self, deep_storage):
+        self._two_committed_generations(deep_storage)
+        # A torn write leaves chunks but no manifest: delete the manifest.
+        deep_storage.store.delete_generation("rank0/state", 2)
+        assert deep_storage.committed_epoch() == 1
+
+    def test_all_generations_corrupt_means_no_commit(self, deep_storage):
+        self._two_committed_generations(deep_storage)
+        for epoch in (1, 2):
+            deep_storage.store.corrupt_manifest("rank0/state", epoch)
+        assert deep_storage.committed_epoch() is None
+
+    def test_unvalidatable_commit_record_skipped_once_gcd(self):
+        """A commit written without nprocs (external callers) cannot be
+        deep-validated; once gc has removed its generations it must fall
+        through instead of steering recovery into a missing object."""
+        storage = Storage(None)
+        storage.write_state(0, 1, ckpt(0, 1))
+        storage.write_log(0, 1, {})
+        storage.commit(1, 0.0)  # no nprocs
+        assert storage.committed_epoch() == 1
+        storage.write_state(0, 2, ckpt(0, 2))
+        storage.write_log(0, 2, {})
+        storage.gc(1, keep_epoch=2)  # epoch 1 generations deleted
+        assert storage.committed_epoch() is None
+
+    def test_keep_last_one_cannot_fall_back(self):
+        """The paper's keep-only-latest discipline has no N-1 to return to
+        (documented behaviour, the reason ckpt_keep_last=2 exists)."""
+        storage = Storage(None)  # keep_last=1
+        self._two_committed_generations(storage)
+        storage.gc(2, keep_epoch=2)
+        storage.store.corrupt_manifest("rank0/state", 2)
+        assert storage.committed_epoch() is None
+
+
+class TestCheckpointCrashInjection:
+    def test_after_chunks_zero_writes_nothing(self):
+        from repro.errors import ProcessKilled
+        from repro.simmpi.failures import FailureSchedule
+
+        storage = Storage(None, chunk_size=64)
+        storage.crash_plan = FailureSchedule.during_checkpoint(
+            rank=0, epoch=1, after_chunks=0
+        )
+        with pytest.raises(ProcessKilled):
+            storage.write_state(0, 1, ckpt())
+        assert storage.store.backend.keys("objects/") == []
+        assert not storage.store.has_generation("rank0/state", 1)
+
+    def test_after_chunks_counts_persisted_chunks(self):
+        from repro.errors import ProcessKilled
+        from repro.simmpi.failures import FailureSchedule
+
+        storage = Storage(None, chunk_size=64)
+        storage.crash_plan = FailureSchedule.during_checkpoint(
+            rank=0, epoch=1, after_chunks=2
+        )
+        with pytest.raises(ProcessKilled):
+            storage.write_state(0, 1, ckpt())
+        assert len(storage.store.backend.keys("objects/")) == 2
+        assert not storage.store.has_generation("rank0/state", 1)
+
+    def test_crash_fires_once(self):
+        from repro.errors import ProcessKilled
+        from repro.simmpi.failures import FailureSchedule
+
+        storage = Storage(None)
+        storage.crash_plan = FailureSchedule.during_checkpoint(rank=0, epoch=1)
+        with pytest.raises(ProcessKilled):
+            storage.write_state(0, 1, ckpt())
+        # The next attempt's write of the same generation succeeds.
+        manifest = storage.write_state(0, 1, ckpt())
+        assert manifest is not None
+        assert storage.read_state(0, 1).epoch == 1
 
 
 class TestWipe:
