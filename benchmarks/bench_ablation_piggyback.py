@@ -11,7 +11,6 @@ import pytest
 
 from repro.api import Session
 from repro.protocol.piggyback import FullCodec, PackedCodec
-from repro.simmpi import SUM
 
 from benchmarks.conftest import bench_config
 

@@ -13,7 +13,7 @@ from repro.apps.dense_cg import CGParams
 from repro.apps.laplace import LaplaceParams
 from repro.apps.neurosys import NeurosysParams
 from repro.apps.workloads import WorkloadPoint
-from repro.bench import ChartResult, measure_chart
+from repro.bench import measure_chart
 from repro.bench.report import render_chart, render_overhead_table
 
 from benchmarks.conftest import bench_config

@@ -2,14 +2,15 @@
 
 Per-operation throughput of the pieces that run on every message:
 classification, counter bookkeeping, match logging, and the late-message
-log — the constant factors behind the layer's per-message overhead.
+log — the constant factors behind the layer's per-message overhead —
+plus the simulator's scheduler baton handoff, which sits under every
+simulated MPI call.
 """
-
-import pytest
 
 from repro.protocol.classify import classify_by_color, classify_by_epoch
 from repro.protocol.logs import LateMessageLog, LateRecord, MatchLog, MatchRecord
 from repro.protocol.state import ProtocolState
+from repro.simmpi import run_simple
 
 N = 5000
 
@@ -100,3 +101,27 @@ def test_snapshot_cost(benchmark):
 
     snap = benchmark(run)
     assert snap.rank == 0
+
+
+def test_scheduler_baton_handoff(benchmark):
+    """Scheduler hot path: baton handoffs with 8 parked rank threads.
+
+    Every simulated MPI call hands the baton rank → scheduler → rank.
+    With per-proc events a handoff wakes exactly the target thread; the
+    previous shared-condition design ``notify_all``-ed every handoff,
+    waking all nprocs parked threads per MPI call (O(nprocs) spurious
+    wakeups), which dominated simulator wall time at higher rank counts.
+    """
+    benchmark.group = "protocol-micro"
+
+    def ring(ctx):
+        peer = (ctx.rank + 1) % ctx.size
+        for i in range(60):
+            ctx.comm.send(i, peer, tag=1)
+            ctx.comm.recv(source=(ctx.rank - 1) % ctx.size, tag=1)
+        return 1
+
+    def run():
+        return sum(run_simple(ring, nprocs=8, seed=3).results)
+
+    assert benchmark(run) == 8

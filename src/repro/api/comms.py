@@ -9,25 +9,28 @@ surface down as a structural protocol so an application written against
   ``isinstance(x, CommLike)`` works) naming the point-to-point calls, the
   eight collectives plus barrier, the persistent-object constructors, and
   the two protocol hooks (``potential_checkpoint`` / ``nondet``).
-* :class:`RawCommAdapter` — the V0 "Unmodified Program" implementation: a
-  pass-through over a raw :class:`~repro.simmpi.comm.Comm` with no
-  piggybacking, no logging and no checkpoints.  The protocol hooks are
-  no-ops, so instrumented applications still run (and uninstrumented ones
-  pay nothing).
+* :class:`RawCommAdapter` — the V0 "Unmodified Program" implementation:
+  the :class:`~repro.protocol.stages.pipeline.ProtocolPipeline` with the
+  *empty* stage stack.  Every call is a pass-through over a raw
+  :class:`~repro.simmpi.comm.Comm` with no piggybacking, no logging and
+  no checkpoints; the protocol hooks are no-ops, so instrumented
+  applications still run (and uninstrumented ones pay nothing).  V0 and
+  V1–V3 share one code path — the pipeline — differing only in which
+  stages are stacked.
 
-The V1–V3 implementation is :class:`~repro.protocol.layer.C3Layer`.
+The V1–V3 implementation is :class:`~repro.protocol.layer.C3Layer`, the
+facade over the same pipeline with the protocol stages present.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
-from repro.errors import ProtocolError
-from repro.protocol.layer import LayerStats
+from repro.protocol.layer import LayerStats  # noqa: F401  (historical re-export)
+from repro.protocol.stages.pipeline import ProtocolPipeline, RawHandle  # noqa: F401
 from repro.simmpi.comm import Comm
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
 from repro.simmpi.op import Op
-from repro.simmpi.request import Request
 
 
 @runtime_checkable
@@ -101,168 +104,15 @@ class CommLike(Protocol):
     def nondet(self, compute: Callable[[], Any]) -> Any: ...
 
 
-class RawHandle:
-    """Opaque handle over a raw communicator or op (the V0 analogue of a
-    pseudo-handle: same ``handle_id`` surface, no record/replay)."""
-
-    __slots__ = ("kind", "handle_id", "_live")
-
-    def __init__(self, kind: str, handle_id: int, live: Any) -> None:
-        self.kind = kind
-        self.handle_id = handle_id
-        self._live = live
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"RawHandle(kind={self.kind!r}, id={self.handle_id})"
-
-
-class RawCommAdapter:
+class RawCommAdapter(ProtocolPipeline):
     """``CommLike`` over a bare simulator communicator (variant V0).
 
-    No piggyback word is attached to any message and no protocol state is
-    kept; the cost of every call is exactly the underlying library call.
-    ``potential_checkpoint`` always answers False and ``nondet`` simply
-    computes — so a fault-tolerance-instrumented application runs
-    unmodified, it just is not protected.
+    The empty stage stack: no piggyback word is attached to any message
+    and no protocol state is kept; the cost of every call is exactly the
+    underlying library call.  ``potential_checkpoint`` always answers
+    False and ``nondet`` simply computes — so a fault-tolerance-
+    instrumented application runs unmodified, it just is not protected.
     """
 
     def __init__(self, comm: Comm) -> None:
-        self.comm = comm
-        self.rank = comm.rank
-        self.nprocs = comm.size
-        self.stats = LayerStats()
-        #: Accepted for surface parity with C3Layer; never invoked (there
-        #: are no checkpoints to capture state for).
-        self.state_provider: Optional[Callable[[], Any]] = None
-        self._handles: dict[int, RawHandle] = {}
-        self._next_handle_id = 0
-
-    # ------------------------------------------------------------------ #
-
-    def _new_handle(self, kind: str, live: Any) -> RawHandle:
-        handle = RawHandle(kind, self._next_handle_id, live)
-        self._next_handle_id += 1
-        self._handles[handle.handle_id] = handle
-        return handle
-
-    def _resolve(self, handle: Any) -> Comm:
-        if handle is None:
-            return self.comm
-        live = getattr(handle, "_live", None)
-        if not isinstance(live, Comm):
-            raise ProtocolError(f"not a communicator handle: {handle!r}")
-        return live
-
-    # -- point-to-point ------------------------------------------------- #
-
-    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
-        self.stats.sends += 1
-        self.comm.send(payload, dest, tag)
-
-    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
-        self.stats.sends += 1
-        return self.comm.isend(payload, dest, tag)
-
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        self.stats.receives += 1
-        return self.comm.recv(source, tag)
-
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        return self.comm.irecv(source, tag)
-
-    def wait(self, req: Request) -> Any:
-        if isinstance(req, Request) and not req.completed and hasattr(req, "_desc"):
-            self.stats.receives += 1
-        return req.wait()
-
-    def test(self, req: Request) -> bool:
-        return req.test()
-
-    def sendrecv(
-        self,
-        payload: Any,
-        dest: int,
-        recv_source: int,
-        send_tag: int = 0,
-        recv_tag: int | None = None,
-    ) -> Any:
-        self.stats.sends += 1
-        self.stats.receives += 1
-        return self.comm.sendrecv(payload, dest, recv_source, send_tag, recv_tag)
-
-    # -- collectives ---------------------------------------------------- #
-
-    def bcast(self, obj: Any, root: int = 0, comm: Any = None) -> Any:
-        self.stats.collectives += 1
-        return self._resolve(comm).bcast(obj, root)
-
-    def reduce(self, obj: Any, op: Op, root: int = 0, comm: Any = None) -> Any:
-        self.stats.collectives += 1
-        return self._resolve(comm).reduce(obj, op, root)
-
-    def allreduce(self, obj: Any, op: Op, comm: Any = None) -> Any:
-        self.stats.collectives += 1
-        return self._resolve(comm).allreduce(obj, op)
-
-    def gather(self, obj: Any, root: int = 0, comm: Any = None) -> Any:
-        self.stats.collectives += 1
-        return self._resolve(comm).gather(obj, root)
-
-    def allgather(self, obj: Any, comm: Any = None) -> list[Any]:
-        self.stats.collectives += 1
-        return self._resolve(comm).allgather(obj)
-
-    def scatter(self, objs: list[Any] | None, root: int = 0, comm: Any = None) -> Any:
-        self.stats.collectives += 1
-        return self._resolve(comm).scatter(objs, root)
-
-    def alltoall(self, objs: list[Any], comm: Any = None) -> list[Any]:
-        self.stats.collectives += 1
-        return self._resolve(comm).alltoall(objs)
-
-    def scan(self, obj: Any, op: Op, comm: Any = None) -> Any:
-        self.stats.collectives += 1
-        return self._resolve(comm).scan(obj, op)
-
-    def barrier(self, comm: Any = None) -> None:
-        self.stats.collectives += 1
-        self._resolve(comm).barrier()
-
-    # -- persistent opaque objects -------------------------------------- #
-
-    def comm_dup(self, parent: Any = None) -> RawHandle:
-        return self._new_handle("comm", self._resolve(parent).dup())
-
-    def comm_split(
-        self, color: int, key: int | None = None, parent: Any = None
-    ) -> Optional[RawHandle]:
-        child = self._resolve(parent).split(color, key)
-        if child is None:
-            return None
-        return self._new_handle("comm", child)
-
-    def op_create(self, name: str, fn: Callable[[Any, Any], Any]) -> RawHandle:
-        return self._new_handle("op", Op.create(name, fn))
-
-    def attach_buffer(self, nbytes: int) -> None:
-        """Library state change; nothing to record without a protocol."""
-
-    def comm_rank(self, handle: Any = None) -> int:
-        return self._resolve(handle).rank
-
-    def comm_size(self, handle: Any = None) -> int:
-        return self._resolve(handle).size
-
-    # -- protocol hooks (no-ops) ---------------------------------------- #
-
-    def potential_checkpoint(self) -> bool:
-        return False
-
-    def nondet(self, compute: Callable[[], Any]) -> Any:
-        return compute()
-
-    def request_checkpoint_now(self) -> None:
-        raise ProtocolError("RawCommAdapter has no initiator (variant V0)")
-
-    def skip_creation_replay(self) -> None:
-        """Surface parity with C3Layer; V0 never restores."""
+        super().__init__(comm, stages=())

@@ -90,6 +90,7 @@ class RunRow:
             "params": self.cell.params,
         }
         row.update(self.cell.overrides)
+        stage_totals = self.outcome.stage_totals()
         row.update(
             results=self.outcome.results,
             attempts=len(self.outcome.attempts),
@@ -100,6 +101,8 @@ class RunRow:
             storage_bytes=self.outcome.storage_bytes_written,
             network_messages=self.outcome.network_messages,
             network_bytes=self.outcome.network_bytes,
+            stage_calls={n: t["calls"] for n, t in stage_totals.items()},
+            stage_seconds={n: t["seconds"] for n, t in stage_totals.items()},
         )
         return row
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import PrecompilerError, UnsupportedConstructError
 from repro.precompiler.analysis import stmt_contains_checkpointable
-from repro.precompiler.desugar import _const, _name
+from repro.precompiler.desugar import _const
 
 
 @dataclass

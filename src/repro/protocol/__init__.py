@@ -40,9 +40,27 @@ from repro.protocol.piggyback import (
     infer_epoch_from_color,
 )
 from repro.protocol.pseudo_handles import PseudoHandle, PseudoRequest, RequestTable
+from repro.protocol.stages import (
+    ProtocolPipeline,
+    ProtocolStage,
+    StackSpec,
+    list_stacks,
+    list_stages,
+    register_stack,
+    register_stage,
+    variant_stack,
+)
 from repro.protocol.state import ProtocolState
 
 __all__ = [
+    "ProtocolPipeline",
+    "ProtocolStage",
+    "StackSpec",
+    "list_stacks",
+    "list_stages",
+    "register_stack",
+    "register_stage",
+    "variant_stack",
     "C3Config",
     "C3Layer",
     "CollectiveRecord",

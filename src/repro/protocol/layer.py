@@ -1,26 +1,32 @@
-"""The C3 protocol layer (paper Section 4, Figure 4).
+"""The C3 protocol layer (paper Section 4, Figure 4) — facade.
 
-This layer sits between the application and the (simulated) MPI library and
-intercepts every communication call, exactly as in the paper's architecture
-(Figure 2).  It implements:
+``C3Layer`` sits between the application and the (simulated) MPI library
+and intercepts every communication call, exactly as in the paper's
+architecture (Figure 2).  Since the stage-pipeline refactor it is a slim
+facade: the engine is :class:`repro.protocol.stages.pipeline.
+ProtocolPipeline`, and each protocol concern lives in its own
+single-responsibility stage under :mod:`repro.protocol.stages`:
 
-* piggybacking of ``(epoch-color, amLogging, messageID)`` on every
-  application message (Section 4.2);
-* classification of incoming messages as late / intra-epoch / early and the
-  corresponding actions: logging late messages, recording early-message IDs,
-  terminating logging on intra-epoch messages from non-logging senders
+* ``piggyback``   — attach/strip of ``(epoch-color, amLogging,
+  messageID)`` on every application message (Section 4.2);
+* ``classifier``  — late / intra-epoch / early classification
   (Figure 4, ``communicationEventHandler``);
-* the ``mySendCount`` / ``receivedAll?`` completion mechanism for late
-  messages (Section 4.3);
-* local checkpoints at ``potentialCheckpoint`` call sites, including the
-  epoch transition bookkeeping of Figure 4;
-* collective communication with result logging under the amLogging
-  conjunction rule and the barrier epoch-alignment rule (Section 4.5);
-* pseudo-handle virtualisation of requests and persistent opaque objects
-  (Section 5.2);
-* recovery: early-message resend suppression, deterministic replay of the
-  logged window (late messages, receive matches, non-deterministic events,
-  collective results), and reconstruction of the library's state.
+* ``message-log`` — late-message logging, early-ID recording, match
+  records and receive counters;
+* ``result-log``  — non-determinism and collective result logging under
+  the amLogging conjunction rule (Sections 3.2, 4.5);
+* ``replay``      — recovery: early-message resend suppression and
+  deterministic replay of the logged window;
+* ``checkpoint``  — control plane, initiator, local checkpoints at
+  ``potentialCheckpoint`` call sites, the ``mySendCount`` /
+  ``receivedAll?`` completion mechanism (Section 4.3).
+
+``C3Layer(comm, config, storage)`` keeps its historical constructor: the
+boolean switches of :class:`C3Config` map onto a stage stack
+(``protocol_enabled`` → the full stack, ``piggyback_enabled`` alone → the
+piggyback stage, neither → the empty stack).  The recovery driver builds
+layers from *named* stacks instead — see
+:func:`repro.protocol.stages.registry.variant_stack`.
 
 One deliberate refinement over the paper's prose: the collective logging
 rule exchanges ``(epoch, amLogging)`` rather than ``amLogging`` alone.  A
@@ -34,112 +40,37 @@ exactly the paper's color-bit reasoning applied to collectives.
 
 from __future__ import annotations
 
-import copy
-import inspect
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
-from repro.errors import ProtocolError, RecoveryError
-from repro.protocol import control as ctl
-from repro.protocol.classify import MessageClass, classify_by_color, classify_by_epoch
-from repro.protocol.initiator import Initiator
-from repro.protocol.logs import (
-    CollectiveRecord,
-    EpochLogs,
-    LateRecord,
-    MatchRecord,
+from repro.protocol.stages.base import C3Config, LayerStats
+from repro.protocol.stages.pipeline import (
+    LAYER_COLL_BASE,
+    RESTORE_BASE,
+    WORLD_HANDLE,
+    ProtocolPipeline,
 )
-from repro.protocol.mpi_state import HandleRegistry, MpiStateLog
-from repro.protocol.piggyback import FullCodec, get_codec
-from repro.protocol.pseudo_handles import PseudoHandle, PseudoRequest, RequestTable
-from repro.protocol.state import ProtocolState
-from repro.simmpi import collectives_impl as coll_impl
+from repro.protocol.stages.registry import StackSpec, build_stages, stages_for_config
 from repro.simmpi.comm import Comm
-from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, TAG_CONTROL
-from repro.simmpi.op import Op
-from repro.statesave.format import CheckpointData
 from repro.statesave.storage import Storage
 
-#: Base of the tag region used by layer-level collective instances.  Raw
-#: communicator collectives use the -1000 region; keeping the layer in its
-#: own region means a V0 (uninstrumented) app and the layer can never clash.
-LAYER_COLL_BASE = -10_000_000
-
-#: Tag block used by the one-shot suppression exchange at restart.
-RESTORE_BASE = -1_000_000_000
-
-#: Pseudo-handle id denoting the world communicator.
-WORLD_HANDLE = -1
+__all__ = [
+    "C3Config",
+    "C3Layer",
+    "LAYER_COLL_BASE",
+    "LayerStats",
+    "RESTORE_BASE",
+    "WORLD_HANDLE",
+]
 
 
-def _accepts_nprocs(commit: Callable[..., Any]) -> bool:
-    """Whether a storage's ``commit`` takes the (1.2+) ``nprocs`` keyword.
+class C3Layer(ProtocolPipeline):
+    """Per-process protocol engine (facade over the stage pipeline).
 
-    Decided once by signature inspection — a runtime TypeError fallback
-    would mask genuine TypeErrors raised inside a modern commit.
+    ``stack`` may name an explicit stage composition (a
+    :class:`~repro.protocol.stages.registry.StackSpec` or a sequence of
+    stage names); without one, the stack is derived from ``config``'s
+    legacy boolean switches.
     """
-    try:
-        params = inspect.signature(commit).parameters
-    except (TypeError, ValueError):  # builtins/uninspectable: assume modern
-        return True
-    return "nprocs" in params or any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
-    )
-
-
-@dataclass
-class C3Config:
-    """Behavioural switches for the protocol layer.
-
-    The four benchmark variants of Section 6 map to:
-
-    * V0 "unmodified"      — no layer at all (raw comm);
-    * V1 "piggyback only"  — ``protocol_enabled=False``;
-    * V2 "no app state"    — ``protocol_enabled=True, save_app_state=False``;
-    * V3 "full"            — everything on.
-    """
-
-    codec: str = "packed"
-    checkpoint_interval: Optional[float] = None
-    protocol_enabled: bool = True
-    #: When False, messages carry no piggyback at all (the paper's
-    #: "Unmodified Program" baseline); implies no protocol either.
-    piggyback_enabled: bool = True
-    save_app_state: bool = True
-    initiator_rank: int = 0
-    #: Deep-copy logged payloads (protects the log from later mutation by
-    #: the application; disable only for immutable-payload benchmarks).
-    copy_logged_payloads: bool = True
-
-
-@dataclass
-class LayerStats:
-    """Per-rank protocol observability counters."""
-
-    sends: int = 0
-    receives: int = 0
-    suppressed_sends: int = 0
-    late_logged: int = 0
-    early_recorded: int = 0
-    nondet_logged: int = 0
-    collectives: int = 0
-    collective_results_logged: int = 0
-    checkpoints_taken: int = 0
-    replayed_late: int = 0
-    replayed_matches: int = 0
-    replayed_nondet: int = 0
-    replayed_collectives: int = 0
-    control_messages: int = 0
-    log_finalizations: int = 0
-    #: Checkpoint-storage accounting from per-generation manifests: what a
-    #: flat pickle store would have written vs. what actually hit storage.
-    ckpt_logical_bytes: int = 0
-    ckpt_stored_bytes: int = 0
-    ckpt_chunks_reused: int = 0
-
-
-class C3Layer:
-    """Per-process protocol engine."""
 
     def __init__(
         self,
@@ -147,812 +78,14 @@ class C3Layer:
         config: C3Config,
         storage: Storage,
         state_provider: Optional[Callable[[], Any]] = None,
+        stack: StackSpec | Sequence[str] | None = None,
     ) -> None:
-        self.comm = comm
-        self.config = config
-        self.storage = storage
-        self.state_provider = state_provider
-        self.codec = get_codec(config.codec)
-        self.rank = comm.rank
-        self.nprocs = comm.size
-        self.state = ProtocolState(rank=self.rank, nprocs=self.nprocs)
-        self.logs = EpochLogs(epoch=0)
-        self.replay: Optional[EpochLogs] = None
-        self._replay_done_sent = False
-        self.suppress: dict[int, set[int]] = {}
-        self.requests = RequestTable()
-        self.mpi_log = MpiStateLog()
-        self.handles = HandleRegistry()
-        #: Creation-replay cursor (see _creation_replay); None == disabled
-        #: (fresh start or precompiled resume), set to 0 by restore_from.
-        self._creation_cursor: Optional[int] = None
-        #: Per-communicator collective call sequence (world = WORLD_HANDLE).
-        self.coll_seqs: dict[int, int] = {WORLD_HANDLE: 0}
-        self.stats = LayerStats()
-        self._commit_accepts_nprocs = _accepts_nprocs(storage.commit)
-        self.initiator: Optional[Initiator] = None
-        if self.rank == config.initiator_rank and config.protocol_enabled:
-            self.initiator = Initiator(
-                nprocs=self.nprocs,
-                interval=config.checkpoint_interval,
-                send_control=self._send_control,
-                commit=self._commit,
-                now=self.comm.wtime,
-            )
-        #: Per-generation storage manifests for this rank's checkpoints,
-        #: in wave order (observability; see :mod:`repro.ckpt`).
-        self.generation_manifests: list[Any] = []
-        #: Hook invoked right after a local checkpoint is written (tests).
-        self.on_checkpoint: Optional[Callable[[CheckpointData], None]] = None
-
-    # ================================================================== #
-    # Control plane.
-    # ================================================================== #
-
-    def _send_control(self, msg: ctl.ControlMessage, dest: int) -> None:
-        if dest == self.rank:
-            self._handle_control(msg, self.rank)
-        else:
-            self.comm.send(msg, dest, tag=TAG_CONTROL)
-
-    def _commit(self, epoch: int, now: float) -> None:
-        if self._commit_accepts_nprocs:
-            self.storage.commit(epoch, now, nprocs=self.nprocs)
-        else:
-            # Custom storages implementing the pre-1.2 two-argument commit
-            # keep working; they just forgo validated N->N-1 fallback.
-            self.storage.commit(epoch, now)
-        self.storage.gc(self.nprocs, keep_epoch=epoch)
-
-    def _progress(self) -> None:
-        """Drain and handle queued control messages; poll the initiator."""
-        if not self.config.protocol_enabled:
-            return
-        while True:
-            env = self.comm.take_matching(tag=TAG_CONTROL)
-            if env is None:
-                break
-            self.stats.control_messages += 1
-            self._handle_control(env.payload, env.source)
-        if self.initiator is not None:
-            self.initiator.poll(self.state.epoch)
-
-    def _handle_control(self, msg: ctl.ControlMessage, source: int) -> None:
-        if isinstance(msg, ctl.PleaseCheckpoint):
-            if self.state.epoch < msg.epoch and self.state.requested_target < msg.epoch:
-                self.state.checkpoint_requested = True
-                self.state.requested_target = msg.epoch
-        elif isinstance(msg, ctl.MySendCount):
-            if msg.epoch not in (self.state.epoch, self.state.epoch + 1):
-                raise ProtocolError(
-                    f"rank {self.rank}: mySendCount for epoch {msg.epoch} "
-                    f"while in epoch {self.state.epoch}"
-                )
-            self.state.total_sent[msg.sender] = msg.count
-            if self.state.am_logging:
-                self._received_all_check()
-        elif isinstance(msg, ctl.ReadyToStopLogging):
-            self._require_initiator("readyToStopLogging")
-            self.initiator.on_ready(msg.sender, msg.epoch)
-        elif isinstance(msg, ctl.StopLogging):
-            self._finalize_log()
-        elif isinstance(msg, ctl.StoppedLogging):
-            self._require_initiator("stoppedLogging")
-            self.initiator.on_stopped(msg.sender, msg.epoch)
-        elif isinstance(msg, ctl.ReplayDone):
-            self._require_initiator("replayDone")
-            self.initiator.on_replay_done(msg.sender)
-        else:
-            raise ProtocolError(f"unknown control message {msg!r}")
-
-    def _require_initiator(self, what: str) -> None:
-        if self.initiator is None:
-            raise ProtocolError(
-                f"rank {self.rank} received initiator-only control {what!r}"
-            )
-
-    # ================================================================== #
-    # receivedAll? / finalizeLog (Figure 4).
-    # ================================================================== #
-
-    def _received_all_check(self) -> None:
-        if self.state.ready_sent or not self.state.am_logging:
-            return
-        if self.state.all_late_received():
-            self.state.ready_sent = True
-            self.state.reset_total_sent()
-            self._send_control(
-                ctl.ReadyToStopLogging(epoch=self.state.epoch, sender=self.rank),
-                self.config.initiator_rank,
-            )
-
-    def _finalize_log(self) -> None:
-        if not self.state.am_logging:
-            return
-        self.state.am_logging = False
-        self.stats.log_finalizations += 1
-        self.storage.write_log(self.rank, self.state.epoch, self.logs)
-        self._send_control(
-            ctl.StoppedLogging(epoch=self.state.epoch, sender=self.rank),
-            self.config.initiator_rank,
+        if stack is None:
+            stack = stages_for_config(config)
+        super().__init__(
+            comm,
+            stages=build_stages(stack, config),
+            config=config,
+            storage=storage,
+            state_provider=state_provider,
         )
-
-    # ================================================================== #
-    # Send path.
-    # ================================================================== #
-
-    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
-        """Application blocking send with piggybacked protocol data."""
-        self._progress()
-        self.stats.sends += 1
-        if not self.config.protocol_enabled:
-            if not self.config.piggyback_enabled:
-                self.comm.send(payload, dest, tag)
-                return
-            wire = self.codec.encode(0, False, 0)
-            self.comm.send(payload, dest, tag, piggyback=wire)
-            return
-        message_id = self.state.note_send(dest)
-        if message_id in self.suppress.get(dest, ()):
-            # Early-message resend suppression (Section 4.2 question 3):
-            # the receiver's checkpoint already contains this message, so it
-            # must not be re-posted; bookkeeping still advances so that
-            # subsequent IDs and the next wave's counts line up.
-            self.stats.suppressed_sends += 1
-            return
-        wire = self.codec.encode(self.state.epoch, self.state.am_logging, message_id)
-        self.comm.send(payload, dest, tag, piggyback=wire)
-
-    def isend(self, payload: Any, dest: int, tag: int = 0) -> PseudoRequest:
-        """Nonblocking send; returns a pseudo-request (Section 5.2)."""
-        self._progress()
-        self.stats.sends += 1
-        req = self.requests.new("isend", dest=dest, tag=tag)
-        if not self.config.protocol_enabled:
-            if not self.config.piggyback_enabled:
-                self.comm.isend(payload, dest, tag)
-                return req
-            wire = self.codec.encode(0, False, 0)
-            self.comm.isend(payload, dest, tag, piggyback=wire)
-            return req
-        message_id = self.state.note_send(dest)
-        if message_id in self.suppress.get(dest, ()):
-            self.stats.suppressed_sends += 1
-            return req
-        wire = self.codec.encode(self.state.epoch, self.state.am_logging, message_id)
-        self.comm.isend(payload, dest, tag, piggyback=wire)
-        return req
-
-    # ================================================================== #
-    # Receive path.
-    # ================================================================== #
-
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        """Application blocking receive."""
-        self._progress()
-        self.stats.receives += 1
-        if not self.config.protocol_enabled:
-            env = self.comm.recv_envelope(source, tag)
-            if env.piggyback is not None:
-                # Piggyback-only variant still pays the decode cost.
-                self.codec.decode(env.piggyback, self.state.epoch)
-            return env.payload
-        if self.replay is not None and not self.replay.matches.exhausted:
-            return self._replay_recv()
-        env = self.comm.recv_envelope(source, tag)
-        return self._classify_and_deliver(env)
-
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> PseudoRequest:
-        """Nonblocking receive pseudo-request."""
-        self._progress()
-        req = self.requests.new("irecv", source=source, tag=tag)
-        if self.config.protocol_enabled and self.replay is not None:
-            # During replay, completion is resolved through the match log at
-            # wait time; posting a raw receive could steal messages that the
-            # replay engine must route by messageID.
-            return req
-        req._live = self.comm.irecv(source, tag)
-        return req
-
-    def wait(self, req: PseudoRequest) -> Any:
-        """Complete a pseudo-request (the MPI_Wait analogue)."""
-        self._progress()
-        if req.consumed:
-            raise ProtocolError("wait() on an already-completed pseudo-request")
-        if req.kind == "isend":
-            # Paper rule: a restored (or live, under the eager model) isend
-            # request completes immediately — the message is in the
-            # receiver's checkpoint or its late-message log.
-            self.requests.retire(req)
-            self.comm._yield_point()
-            return None
-        # irecv:
-        if req.has_payload:
-            payload = req.payload
-            self.requests.retire(req)
-            return payload
-        if req._live is None:
-            # Restored-unmatched or replay-posted: resolve like a fresh recv
-            # (paper rule: match the late log, else re-post the receive).
-            self.stats.receives += 1
-            if self.replay is not None and not self.replay.matches.exhausted:
-                payload = self._replay_recv()
-            else:
-                env = self.comm.recv_envelope(req.source, req.tag)
-                payload = self._classify_and_deliver(env)
-            self.requests.retire(req)
-            return payload
-        self.stats.receives += 1
-        req._live.wait()
-        env = req._live._desc.matched
-        self.requests.retire(req)
-        if not self.config.protocol_enabled:
-            return env.payload
-        return self._classify_and_deliver(env)
-
-    def test(self, req: PseudoRequest) -> bool:
-        """Nonblocking completion check for a pseudo-request."""
-        self._progress()
-        if req.kind == "isend":
-            return True
-        if req.has_payload:
-            return True
-        if req._live is None:
-            # Replay-resolved requests are only completed by wait().
-            return self.replay is not None and not self.replay.matches.exhausted
-        return req._live.test()
-
-    def sendrecv(
-        self,
-        payload: Any,
-        dest: int,
-        recv_source: int,
-        send_tag: int = 0,
-        recv_tag: int | None = None,
-    ) -> Any:
-        """Combined exchange built from the layer's own send + recv."""
-        if recv_tag is None:
-            recv_tag = send_tag
-        self.send(payload, dest, send_tag)
-        return self.recv(recv_source, recv_tag)
-
-    # ------------------------------------------------------------------ #
-
-    def _classify_and_deliver(self, env) -> Any:
-        """Figure 4's communicationEventHandler for one arrived message."""
-        info = self.codec.decode(env.piggyback, self.state.epoch)
-        if isinstance(self.codec, FullCodec):
-            mclass = classify_by_epoch(info.epoch, self.state.epoch)
-        else:
-            mclass = classify_by_color(
-                info.color, self.state.epoch, self.state.am_logging
-            )
-        src = env.source
-        if mclass is MessageClass.EARLY:
-            if self.state.am_logging:
-                raise ProtocolError(
-                    f"rank {self.rank}: early message from {src} while logging"
-                )
-            self.state.early_ids.setdefault(src, []).append(info.message_id)
-            self.stats.early_recorded += 1
-        elif mclass is MessageClass.INTRA_EPOCH:
-            if self.state.am_logging and not info.am_logging:
-                # Phase 4 condition (ii): a message from a process that has
-                # stopped logging means every process has checkpointed.
-                self._finalize_log()
-            self.state.current_receive_count[src] = (
-                self.state.current_receive_count.get(src, 0) + 1
-            )
-        else:  # LATE
-            if not self.state.am_logging:
-                raise ProtocolError(
-                    f"rank {self.rank}: late message from {src} after logging ended"
-                )
-            payload = env.payload
-            logged = copy.deepcopy(payload) if self.config.copy_logged_payloads else payload
-            self.logs.late.append(
-                LateRecord(source=src, tag=env.tag, message_id=info.message_id, payload=logged)
-            )
-            self.stats.late_logged += 1
-            self.state.previous_receive_count[src] = (
-                self.state.previous_receive_count.get(src, 0) + 1
-            )
-        if self.state.am_logging:
-            self.logs.matches.append(
-                MatchRecord(
-                    source=src,
-                    tag=env.tag,
-                    message_id=info.message_id,
-                    was_late=mclass is MessageClass.LATE,
-                )
-            )
-        if mclass is MessageClass.LATE:
-            self._received_all_check()
-        return env.payload
-
-    # ------------------------------------------------------------------ #
-
-    def _replay_recv(self) -> Any:
-        """Serve one receive deterministically from the match log."""
-        assert self.replay is not None
-        rec: MatchRecord = self.replay.matches.next()
-        self.stats.replayed_matches += 1
-        if rec.was_late:
-            late = self.replay.late.take_by_id(rec.source, rec.message_id)
-            if late is None:
-                raise RecoveryError(
-                    f"rank {self.rank}: match log names late message "
-                    f"({rec.source}, {rec.message_id}) absent from late log"
-                )
-            self.stats.replayed_late += 1
-            self._maybe_end_replay()
-            return late.payload
-        # Intra-epoch message: the sender is re-executing deterministically
-        # and will re-post it with the same messageID; wait for exactly it.
-        wanted_id = rec.message_id
-
-        def _matches(env) -> bool:
-            if env.piggyback is None:
-                return False
-            info = self.codec.decode(env.piggyback, self.state.epoch)
-            return info.message_id == wanted_id
-
-        env = self.comm.recv_envelope(rec.source, rec.tag, predicate=_matches)
-        self.state.current_receive_count[rec.source] = (
-            self.state.current_receive_count.get(rec.source, 0) + 1
-        )
-        self._maybe_end_replay()
-        return env.payload
-
-    def _maybe_end_replay(self) -> None:
-        if self.replay is None or self._replay_done_sent:
-            return
-        if self.replay.all_exhausted():
-            self._replay_done_sent = True
-            self.replay = None
-            self._send_control(
-                ctl.ReplayDone(epoch=self.state.epoch, sender=self.rank),
-                self.config.initiator_rank,
-            )
-
-    # ================================================================== #
-    # Non-determinism (Section 3.2 / Figure 4 phase 2).
-    # ================================================================== #
-
-    def nondet(self, compute: Callable[[], Any]) -> Any:
-        """Execute a non-deterministic decision under protocol control.
-
-        While logging, the result is recorded; during recovery replay, the
-        recorded result is returned instead of re-computing, so the replayed
-        execution is identical to the one peers' checkpoints observed.
-        """
-        self._progress()
-        if self.config.protocol_enabled and self.replay is not None \
-                and not self.replay.nondet.exhausted:
-            value = self.replay.nondet.next()
-            self.stats.replayed_nondet += 1
-            self._maybe_end_replay()
-            return value
-        value = compute()
-        if self.config.protocol_enabled and self.state.am_logging:
-            logged = copy.deepcopy(value) if self.config.copy_logged_payloads else value
-            self.logs.nondet.append(logged)
-            self.stats.nondet_logged += 1
-        return value
-
-    # ================================================================== #
-    # Collectives (Section 4.5).
-    # ================================================================== #
-
-    def _coll_endpoint(self, handle_id: int, phase: int) -> "_LayerCollEndpoint":
-        seq = self.coll_seqs.get(handle_id, 0)
-        raw = self._raw_comm(handle_id)
-        base = LAYER_COLL_BASE - (seq * 2 + phase) * coll_impl._TAG_STRIDE
-        return _LayerCollEndpoint(raw, base)
-
-    def _raw_comm(self, handle_id: int) -> Comm:
-        if handle_id == WORLD_HANDLE:
-            return self.comm
-        handle = self.handles.by_id.get(handle_id)
-        if handle is None or handle._live is None:
-            raise ProtocolError(f"unknown or unbound communicator handle {handle_id}")
-        return handle._live
-
-    def _advance_coll_seq(self, handle_id: int) -> None:
-        self.coll_seqs[handle_id] = self.coll_seqs.get(handle_id, 0) + 1
-
-    def _collective(
-        self,
-        kind: str,
-        executor: Callable[[coll_impl.P2PEndpoint], Any],
-        comm: Optional[PseudoHandle] = None,
-        loggable: bool = True,
-    ) -> Any:
-        """Shared machinery for every collective call.
-
-        ``loggable=False`` marks barrier: never served from the result log
-        (all participants re-execute it after restart — guaranteed by the
-        epoch-alignment rule) and never recorded.
-        """
-        self._progress()
-        self.stats.collectives += 1
-        handle_id = comm.handle_id if comm is not None else WORLD_HANDLE
-        if not self.config.protocol_enabled:
-            ep = self._coll_endpoint(handle_id, 1)
-            self._advance_coll_seq(handle_id)
-            return executor(ep)
-        if (
-            loggable
-            and self.replay is not None
-            and not self.replay.collectives.exhausted
-        ):
-            rec: CollectiveRecord = self.replay.collectives.next()
-            if rec.kind != kind:
-                raise RecoveryError(
-                    f"rank {self.rank}: replaying {kind} but log has {rec.kind}"
-                )
-            self.stats.replayed_collectives += 1
-            self._advance_coll_seq(handle_id)
-            self._maybe_end_replay()
-            return rec.result
-        # Command exchange before the data call (paper: "each data
-        # MPI_Allgather is preceded by a command MPI_Allgather which sends
-        # around the relevant control information").
-        ctl_ep = self._coll_endpoint(handle_id, 0)
-        peer_info = coll_impl.allgather(ctl_ep, (self.state.epoch, self.state.am_logging))
-        data_ep = self._coll_endpoint(handle_id, 1)
-        result = executor(data_ep)
-        self._advance_coll_seq(handle_id)
-        if self.state.am_logging and loggable:
-            my_epoch = self.state.epoch
-            ended = any(
-                epoch == my_epoch and not logging
-                for i, (epoch, logging) in enumerate(peer_info)
-                if i != self._group_rank(handle_id)
-            )
-            if ended:
-                # A same-epoch participant has stopped logging: logging has
-                # globally terminated; do not record the result.
-                self._finalize_log()
-            else:
-                logged = copy.deepcopy(result) if self.config.copy_logged_payloads else result
-                self.logs.collectives.append(CollectiveRecord(kind=kind, result=logged))
-                self.stats.collective_results_logged += 1
-        return result
-
-    def _group_rank(self, handle_id: int) -> int:
-        return self._raw_comm(handle_id).rank
-
-    def bcast(self, obj: Any, root: int = 0, comm: Optional[PseudoHandle] = None) -> Any:
-        return self._collective("bcast", lambda ep: coll_impl.bcast(ep, obj, root), comm)
-
-    def reduce(self, obj: Any, op: Op, root: int = 0, comm: Optional[PseudoHandle] = None) -> Any:
-        return self._collective("reduce", lambda ep: coll_impl.reduce(ep, obj, op, root), comm)
-
-    def allreduce(self, obj: Any, op: Op, comm: Optional[PseudoHandle] = None) -> Any:
-        return self._collective("allreduce", lambda ep: coll_impl.allreduce(ep, obj, op), comm)
-
-    def gather(self, obj: Any, root: int = 0, comm: Optional[PseudoHandle] = None) -> Any:
-        return self._collective("gather", lambda ep: coll_impl.gather(ep, obj, root), comm)
-
-    def allgather(self, obj: Any, comm: Optional[PseudoHandle] = None) -> list[Any]:
-        return self._collective("allgather", lambda ep: coll_impl.allgather(ep, obj), comm)
-
-    def scatter(self, objs: list[Any] | None, root: int = 0, comm: Optional[PseudoHandle] = None) -> Any:
-        return self._collective("scatter", lambda ep: coll_impl.scatter(ep, objs, root), comm)
-
-    def alltoall(self, objs: list[Any], comm: Optional[PseudoHandle] = None) -> list[Any]:
-        return self._collective("alltoall", lambda ep: coll_impl.alltoall(ep, objs), comm)
-
-    def scan(self, obj: Any, op: Op, comm: Optional[PseudoHandle] = None) -> Any:
-        return self._collective("scan", lambda ep: coll_impl.scan(ep, obj, op), comm)
-
-    def barrier(self, comm: Optional[PseudoHandle] = None) -> None:
-        """MPI_Barrier with the paper's epoch-alignment rule (Section 4.5).
-
-        "All processes involved in the barrier execute an all-to-all
-        communication just before the barrier to determine if they are all
-        in the same epoch.  If not, processes that have not yet taken their
-        local checkpoints do so."
-        """
-        self._progress()
-        handle_id = comm.handle_id if comm is not None else WORLD_HANDLE
-        if self.config.protocol_enabled and self.replay is None:
-            ctl_ep = self._coll_endpoint(handle_id, 0)
-            epochs = coll_impl.allgather(ctl_ep, self.state.epoch)
-            if self.state.epoch < max(epochs):
-                # The forced local checkpoint happens BEFORE this barrier's
-                # collective-sequence advance: the checkpoint's resume point
-                # re-executes the whole barrier call (the paper's inserted
-                # potentialCheckpoint-before-barrier), so its snapshot must
-                # not count the alignment exchange the re-execution will
-                # perform again.
-                self._take_local_checkpoint()
-            self._advance_coll_seq(handle_id)
-        elif self.config.protocol_enabled:
-            # Re-executed barrier during replay: alignment already held in
-            # the original execution (all participants were in this epoch),
-            # but the exchange itself must re-run so tags stay aligned.
-            ctl_ep = self._coll_endpoint(handle_id, 0)
-            coll_impl.allgather(ctl_ep, self.state.epoch)
-            self._advance_coll_seq(handle_id)
-        self._collective("barrier", lambda ep: coll_impl.barrier(ep), comm, loggable=False)
-
-    # ================================================================== #
-    # potentialCheckpoint (Figure 4).
-    # ================================================================== #
-
-    def potential_checkpoint(self) -> bool:
-        """Take a local checkpoint if one has been requested.
-
-        Returns True if a checkpoint was taken.  Checkpointing is deferred
-        while a recovery replay is in progress (the initiator never starts a
-        wave during replay, so this can only trigger in exotic interleavings
-        and is safe to postpone).
-        """
-        self._progress()
-        if not self.config.protocol_enabled:
-            return False
-        if self.replay is not None:
-            return False
-        if not self.state.checkpoint_requested:
-            return False
-        self._take_local_checkpoint()
-        return True
-
-    def _take_local_checkpoint(self) -> None:
-        saved_early = {q: list(ids) for q, ids in self.state.early_ids.items() if ids}
-        send_counts = self.state.epoch_transition()
-        # Suppression sets apply only to re-executions of the *previous*
-        # epoch's sends; entering a new epoch invalidates them.
-        self.suppress = {}
-        snapshot = self.state.snapshot_for_checkpoint()
-        app_state = None
-        if self.config.save_app_state and self.state_provider is not None:
-            app_state = self.state_provider()
-        data = CheckpointData(
-            rank=self.rank,
-            epoch=self.state.epoch,
-            protocol=snapshot,
-            early_ids=saved_early,
-            requests=copy.deepcopy(self.requests.snapshot()),
-            mpi_records=copy.deepcopy(self.mpi_log),
-            handles=self.handles.snapshot(),
-            coll_seqs=dict(self.coll_seqs),
-            app_state=app_state,
-            taken_at=self.comm.wtime(),
-        )
-        manifest = self.storage.write_state(self.rank, self.state.epoch, data)
-        if manifest is not None:  # custom storages may return nothing
-            self.generation_manifests.append(manifest)
-            self.stats.ckpt_logical_bytes += manifest.logical_bytes
-            self.stats.ckpt_stored_bytes += manifest.stored_bytes
-            self.stats.ckpt_chunks_reused += manifest.reused_chunks
-        self.stats.checkpoints_taken += 1
-        for q in self.state.receivers:
-            self._send_control(
-                ctl.MySendCount(
-                    epoch=self.state.epoch, sender=self.rank,
-                    count=send_counts.get(q, 0),
-                ),
-                q,
-            )
-        self.state.am_logging = True
-        self.logs = EpochLogs(epoch=self.state.epoch)
-        if self.on_checkpoint is not None:
-            self.on_checkpoint(data)
-        self._received_all_check()
-
-    def request_checkpoint_now(self) -> None:
-        """Ask the initiator to start a wave at its next poll (tests/API)."""
-        if self.initiator is None:
-            raise ProtocolError("request_checkpoint_now is initiator-only")
-        self.initiator.force_initiate = True
-
-    # ================================================================== #
-    # MPI library persistent-object virtualisation (Section 5.2).
-    # ================================================================== #
-
-    def _creation_replay(self, fn: str) -> tuple[bool, Optional[PseudoHandle]]:
-        """Swallow a re-executed persistent-object creation after restore.
-
-        Applications that restart *from the top* (the manual-state path)
-        re-execute their pre-checkpoint ``comm_dup``/``comm_split``/... calls.
-        Those objects already exist — recreated by the call-record replay at
-        restore — so while the creation cursor has records left, a creation
-        call returns the restored handle instead of making a new one.  The
-        precompiled path resumes past these calls and disables the cursor.
-        """
-        if (
-            self._creation_cursor is None
-            or self._creation_cursor >= len(self.mpi_log.records)
-        ):
-            return False, None
-        record = self.mpi_log.records[self._creation_cursor]
-        if record.fn != fn:
-            raise RecoveryError(
-                f"rank {self.rank}: re-executed creation {fn!r} but the "
-                f"restored call record says {record.fn!r}"
-            )
-        self._creation_cursor += 1
-        if record.handle_id >= 0:
-            return True, self.handles.by_id[record.handle_id]
-        return True, None
-
-    def skip_creation_replay(self) -> None:
-        """Disable creation-cursor matching (precompiled-application path)."""
-        self._creation_cursor = None
-
-    def comm_dup(self, parent: Optional[PseudoHandle] = None) -> PseudoHandle:
-        """Duplicate a communicator behind a pseudo-handle."""
-        replayed, handle = self._creation_replay("comm_dup")
-        if replayed:
-            return handle
-        parent_id = parent.handle_id if parent is not None else WORLD_HANDLE
-        handle = self.mpi_log.new_handle("comm")
-        handle._live = self._raw_comm(parent_id).dup()
-        self.mpi_log.record("comm_dup", (parent_id,), handle)
-        self.handles.add(handle)
-        self.coll_seqs[handle.handle_id] = 0
-        return handle
-
-    def comm_split(
-        self, color: int, key: int | None = None, parent: Optional[PseudoHandle] = None
-    ) -> Optional[PseudoHandle]:
-        """Split a communicator behind a pseudo-handle (collective)."""
-        if self._creation_cursor is not None and self._creation_cursor < len(self.mpi_log.records):
-            record = self.mpi_log.records[self._creation_cursor]
-            fn = "comm_split" if record.fn == "comm_split" else "comm_split_undefined"
-            replayed, handle = self._creation_replay(fn)
-            if replayed:
-                return handle
-        parent_id = parent.handle_id if parent is not None else WORLD_HANDLE
-        raw_child = self._raw_comm(parent_id).split(color, key)
-        if raw_child is None:
-            # Participation is still recorded: the split must be re-executed
-            # collectively on restore even by ranks that got no child.
-            self.mpi_log.record("comm_split_undefined", (parent_id, key))
-            return None
-        handle = self.mpi_log.new_handle("comm")
-        handle._live = raw_child
-        self.mpi_log.record("comm_split", (parent_id, color, key), handle)
-        self.handles.add(handle)
-        self.coll_seqs[handle.handle_id] = 0
-        return handle
-
-    def op_create(self, name: str, fn: Callable[[Any, Any], Any]) -> PseudoHandle:
-        """Create a user-defined reduction op behind a pseudo-handle.
-
-        ``fn`` must be importable/stable under ``name``: the call record
-        replays ``Op.create(name, fn)`` by looking the op up at restore, so
-        the application must re-register the op before restore (module
-        import time is the natural place).
-        """
-        replayed, handle = self._creation_replay("op_create")
-        if replayed:
-            return handle
-        handle = self.mpi_log.new_handle("op")
-        handle._live = Op.create(name, fn)
-        self.mpi_log.record("op_create", (name,), handle)
-        self.handles.add(handle)
-        return handle
-
-    def attach_buffer(self, nbytes: int) -> None:
-        """Record a direct library state change (MPI_Attach_buffer analogue)."""
-        replayed, _ = self._creation_replay("attach_buffer")
-        if replayed:
-            return
-        self.mpi_log.record("attach_buffer", (nbytes,))
-
-    def comm_rank(self, handle: Optional[PseudoHandle] = None) -> int:
-        return self._raw_comm(handle.handle_id if handle else WORLD_HANDLE).rank
-
-    def comm_size(self, handle: Optional[PseudoHandle] = None) -> int:
-        return self._raw_comm(handle.handle_id if handle else WORLD_HANDLE).size
-
-    def _replay_executors(self) -> dict[str, Callable[..., Any]]:
-        def comm_dup(parent_id: int):
-            return self._raw_comm(parent_id).dup()
-
-        def comm_split(parent_id: int, color: int, key: int | None):
-            return self._raw_comm(parent_id).split(color, key)
-
-        def comm_split_undefined(parent_id: int, key: int | None):
-            self._raw_comm(parent_id).split(None, key)
-            return None
-
-        def op_create(name: str):
-            return Op.lookup(name)
-
-        def attach_buffer(nbytes: int):
-            return None
-
-        return {
-            "comm_dup": comm_dup,
-            "comm_split": comm_split,
-            "comm_split_undefined": comm_split_undefined,
-            "op_create": op_create,
-            "attach_buffer": attach_buffer,
-        }
-
-    # ================================================================== #
-    # Recovery (restart from a committed checkpoint).
-    # ================================================================== #
-
-    def restore_from(self, data: CheckpointData, logs: EpochLogs) -> None:
-        """Reinitialise this layer from a committed local checkpoint.
-
-        Must be called by *every* rank of the job at restart, before any
-        application re-execution: it performs a synchronous suppression
-        exchange (each receiver tells each sender which early-message IDs to
-        suppress) and arms the deterministic replay engine.
-        """
-        if data.rank != self.rank:
-            raise RecoveryError(
-                f"rank {self.rank} handed checkpoint of rank {data.rank}"
-            )
-        self.state = copy.deepcopy(data.protocol)
-        self.coll_seqs = dict(data.coll_seqs)
-        self.mpi_log = copy.deepcopy(data.mpi_records) if data.mpi_records else MpiStateLog()
-        self.handles.restore([copy.deepcopy(h) for h in data.handles])
-        self.mpi_log.replay(self._replay_executors(), self.handles.by_id)
-        # Arm the creation cursor: a from-the-top restart will re-execute
-        # these recorded creations and must be handed the restored handles.
-        self._creation_cursor = 0
-        self.requests.restore([copy.deepcopy(r) for r in data.requests])
-        logs = copy.deepcopy(logs)
-        logs.rewind()
-        self.replay = logs
-        self._replay_done_sent = False
-        # --- suppression exchange (synchronous, all ranks participate) ---
-        outgoing = [
-            tuple(data.early_ids.get(sender, ())) for sender in range(self.nprocs)
-        ]
-        ep = _LayerCollEndpoint(self.comm, RESTORE_BASE)
-        incoming = coll_impl.alltoall(ep, outgoing)
-        self.suppress = {
-            dest: set(ids) for dest, ids in enumerate(incoming) if ids
-        }
-        if self.initiator is not None:
-            self.initiator.begin_recovery(set(range(self.nprocs)))
-            self.initiator.last_commit_time = self.comm.wtime()
-        self._maybe_end_replay()
-
-    @property
-    def in_replay(self) -> bool:
-        return self.replay is not None
-
-
-class _LayerCollEndpoint:
-    """Collective endpoint over a raw communicator with an explicit tag base.
-
-    The layer cannot use the raw communicator's own collective tag counter:
-    replay-served collectives perform no raw communication, so raw counters
-    would drift apart between ranks.  The layer derives tags from its own
-    checkpointed per-communicator sequence numbers instead.
-    """
-
-    def __init__(self, raw: Comm, base: int) -> None:
-        self._raw = raw
-        self._base = base
-        self._used = False
-
-    @property
-    def coll_rank(self) -> int:
-        return self._raw.rank
-
-    @property
-    def coll_size(self) -> int:
-        return self._raw.size
-
-    def coll_next_tag_block(self) -> int:
-        if self._used:
-            raise ProtocolError("layer collective endpoint reused")
-        self._used = True
-        return self._base
-
-    def coll_send(self, dest: int, payload: Any, tag: int) -> None:
-        self._raw.coll_send(dest, payload, tag)
-
-    def coll_recv(self, source: int, tag: int) -> Any:
-        return self._raw.coll_recv(source, tag)

@@ -12,7 +12,6 @@ restart it is replayed against a fresh library instance, re-binding every
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 

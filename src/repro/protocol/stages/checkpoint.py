@@ -1,0 +1,201 @@
+"""Checkpoint-controller stage: control plane, initiator, epochs.
+
+Owns everything that makes checkpoints happen (paper Section 4.1):
+
+* the out-of-band control plane on ``TAG_CONTROL`` (drained at every
+  scheduling opportunity via :meth:`progress`);
+* the initiator state machine, embedded in the configured rank's stage;
+* ``potentialCheckpoint`` — the local checkpoint at application-chosen
+  points, with the epoch-transition bookkeeping of Figure 4;
+* the ``mySendCount`` / ``receivedAll?`` / ``finalizeLog`` completion
+  mechanism for late messages (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import ProtocolError
+from repro.protocol import control as ctl
+from repro.protocol.initiator import Initiator
+from repro.protocol.logs import EpochLogs
+from repro.protocol.stages.base import C3Config, ProtocolStage
+from repro.simmpi.constants import TAG_CONTROL
+from repro.statesave.format import CheckpointData
+
+
+class CheckpointStage(ProtocolStage):
+    """Drive checkpoint waves and take local checkpoints."""
+
+    name = "checkpoint"
+
+    def __init__(self, config: C3Config) -> None:
+        super().__init__(config)
+        self.initiator: Initiator | None = None
+
+    def bind(self, core) -> None:
+        super().bind(core)
+        if core.rank == self.config.initiator_rank:
+            self.initiator = Initiator(
+                nprocs=core.nprocs,
+                interval=self.config.checkpoint_interval,
+                send_control=core._send_control,
+                commit=self._commit,
+                now=core.comm.wtime,
+            )
+        core.initiator = self.initiator
+
+    # -- control plane --------------------------------------------------- #
+
+    def _commit(self, epoch: int, now: float) -> None:
+        core = self.core
+        if core._commit_accepts_nprocs:
+            core.storage.commit(epoch, now, nprocs=core.nprocs)
+        else:
+            # Custom storages implementing the pre-1.2 two-argument commit
+            # keep working; they just forgo validated N->N-1 fallback.
+            core.storage.commit(epoch, now)
+        core.storage.gc(core.nprocs, keep_epoch=epoch)
+
+    def progress(self) -> None:
+        """Drain and handle queued control messages; poll the initiator."""
+        core = self.core
+        while True:
+            env = core.comm.take_matching(tag=TAG_CONTROL)
+            if env is None:
+                break
+            core.stats.control_messages += 1
+            self.handle_control(env.payload, env.source)
+        if self.initiator is not None:
+            self.initiator.poll(core.state.epoch)
+
+    def handle_control(self, msg: ctl.ControlMessage, source: int) -> None:
+        core = self.core
+        state = core.state
+        if isinstance(msg, ctl.PleaseCheckpoint):
+            if state.epoch < msg.epoch and state.requested_target < msg.epoch:
+                state.checkpoint_requested = True
+                state.requested_target = msg.epoch
+        elif isinstance(msg, ctl.MySendCount):
+            if msg.epoch not in (state.epoch, state.epoch + 1):
+                raise ProtocolError(
+                    f"rank {core.rank}: mySendCount for epoch {msg.epoch} "
+                    f"while in epoch {state.epoch}"
+                )
+            state.total_sent[msg.sender] = msg.count
+            if state.am_logging:
+                self.received_all_check()
+        elif isinstance(msg, ctl.ReadyToStopLogging):
+            self._require_initiator("readyToStopLogging")
+            self.initiator.on_ready(msg.sender, msg.epoch)
+        elif isinstance(msg, ctl.StopLogging):
+            self.finalize_log()
+        elif isinstance(msg, ctl.StoppedLogging):
+            self._require_initiator("stoppedLogging")
+            self.initiator.on_stopped(msg.sender, msg.epoch)
+        elif isinstance(msg, ctl.ReplayDone):
+            self._require_initiator("replayDone")
+            self.initiator.on_replay_done(msg.sender)
+        else:
+            raise ProtocolError(f"unknown control message {msg!r}")
+
+    def _require_initiator(self, what: str) -> None:
+        if self.initiator is None:
+            raise ProtocolError(
+                f"rank {self.core.rank} received initiator-only control {what!r}"
+            )
+
+    # -- receivedAll? / finalizeLog (Figure 4) --------------------------- #
+
+    def received_all_check(self) -> None:
+        core = self.core
+        state = core.state
+        if state.ready_sent or not state.am_logging:
+            return
+        if state.all_late_received():
+            state.ready_sent = True
+            state.reset_total_sent()
+            core._send_control(
+                ctl.ReadyToStopLogging(epoch=state.epoch, sender=core.rank),
+                self.config.initiator_rank,
+            )
+
+    def finalize_log(self) -> None:
+        core = self.core
+        if not core.state.am_logging:
+            return
+        core.state.am_logging = False
+        core.stats.log_finalizations += 1
+        core.storage.write_log(core.rank, core.state.epoch, core.logs)
+        core._send_control(
+            ctl.StoppedLogging(epoch=core.state.epoch, sender=core.rank),
+            self.config.initiator_rank,
+        )
+
+    # -- potentialCheckpoint (Figure 4) ---------------------------------- #
+
+    def potential_checkpoint(self) -> bool:
+        """Take a local checkpoint if one has been requested.
+
+        Checkpointing is deferred while a recovery replay is in progress
+        (the initiator never starts a wave during replay, so this can only
+        trigger in exotic interleavings and is safe to postpone).
+        """
+        core = self.core
+        if core.replay is not None:
+            return False
+        if not core.state.checkpoint_requested:
+            return False
+        self.take_local_checkpoint()
+        return True
+
+    def take_local_checkpoint(self) -> None:
+        core = self.core
+        state = core.state
+        saved_early = {q: list(ids) for q, ids in state.early_ids.items() if ids}
+        send_counts = state.epoch_transition()
+        # Suppression sets apply only to re-executions of the *previous*
+        # epoch's sends; entering a new epoch invalidates them.
+        core.suppress = {}
+        snapshot = state.snapshot_for_checkpoint()
+        app_state = None
+        if self.config.save_app_state and core.state_provider is not None:
+            app_state = core.state_provider()
+        data = CheckpointData(
+            rank=core.rank,
+            epoch=state.epoch,
+            protocol=snapshot,
+            early_ids=saved_early,
+            requests=copy.deepcopy(core.requests.snapshot()),
+            mpi_records=copy.deepcopy(core.mpi_log),
+            handles=core.handles.snapshot(),
+            coll_seqs=dict(core.coll_seqs),
+            app_state=app_state,
+            taken_at=core.comm.wtime(),
+        )
+        manifest = core.storage.write_state(core.rank, state.epoch, data)
+        if manifest is not None:  # custom storages may return nothing
+            core.generation_manifests.append(manifest)
+            core.stats.ckpt_logical_bytes += manifest.logical_bytes
+            core.stats.ckpt_stored_bytes += manifest.stored_bytes
+            core.stats.ckpt_chunks_reused += manifest.reused_chunks
+        core.stats.checkpoints_taken += 1
+        for q in state.receivers:
+            core._send_control(
+                ctl.MySendCount(
+                    epoch=state.epoch, sender=core.rank,
+                    count=send_counts.get(q, 0),
+                ),
+                q,
+            )
+        state.am_logging = True
+        core.logs = EpochLogs(epoch=state.epoch)
+        if core.on_checkpoint is not None:
+            core.on_checkpoint(data)
+        self.received_all_check()
+
+    def request_checkpoint_now(self) -> None:
+        """Ask the initiator to start a wave at its next poll (tests/API)."""
+        if self.initiator is None:
+            raise ProtocolError("request_checkpoint_now is initiator-only")
+        self.initiator.force_initiate = True

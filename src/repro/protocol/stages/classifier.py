@@ -1,0 +1,25 @@
+"""Epoch-classifier stage (paper Definition 1 and Section 4.2).
+
+Given a decoded piggyback word and the receiver's protocol state, decide
+whether the message is late, intra-epoch, or early.  With the full codec
+the sender's absolute epoch is on the wire; with the packed codec only
+the color bit is, and the receiver's logging state disambiguates.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.classify import MessageClass, classify_by_color, classify_by_epoch
+from repro.protocol.piggyback import FullCodec, PiggybackInfo
+from repro.protocol.stages.base import ProtocolStage
+
+
+class ClassifierStage(ProtocolStage):
+    """Classify one arrived message against the receiver's epoch."""
+
+    name = "classifier"
+
+    def classify(self, info: PiggybackInfo) -> MessageClass:
+        core = self.core
+        if isinstance(core.codec, FullCodec):
+            return classify_by_epoch(info.epoch, core.state.epoch)
+        return classify_by_color(info.color, core.state.epoch, core.state.am_logging)

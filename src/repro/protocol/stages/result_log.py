@@ -1,0 +1,36 @@
+"""Non-determinism and collective-result log stage (Sections 3.2, 4.5).
+
+While a process is logging, results of non-deterministic decisions and
+of collective calls are recorded so recovery replay can return them
+without re-computation (nondet) or re-communication (collectives — some
+participants will not re-execute the call).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.protocol.logs import CollectiveRecord
+from repro.protocol.stages.base import ProtocolStage
+
+
+class ResultLogStage(ProtocolStage):
+    """Append nondet/collective results to the current epoch's logs."""
+
+    name = "result-log"
+
+    def _logged_copy(self, value: Any) -> Any:
+        return copy.deepcopy(value) if self.config.copy_logged_payloads else value
+
+    def record_nondet(self, value: Any) -> None:
+        core = self.core
+        core.logs.nondet.append(self._logged_copy(value))
+        core.stats.nondet_logged += 1
+
+    def record_collective(self, kind: str, result: Any) -> None:
+        core = self.core
+        core.logs.collectives.append(
+            CollectiveRecord(kind=kind, result=self._logged_copy(result))
+        )
+        core.stats.collective_results_logged += 1

@@ -19,11 +19,13 @@ V3        "Full Checkpoints"                          everything
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigError
 from repro.protocol.layer import C3Config
+from repro.protocol.stages.registry import StackSpec, variant_stack
 from repro.simmpi.clock import CostModel
 
 
@@ -50,6 +52,10 @@ class RunConfig:
     nprocs: int
     seed: int = 0
     variant: Variant = Variant.FULL
+    #: Explicit stage-stack name (overrides the variant→stack mapping).
+    #: Any name registered with :func:`repro.protocol.register_stack`
+    #: works — this is how custom user-defined variants are run.
+    stack: Optional[str] = None
     #: Virtual-time distance between checkpoint waves (paper: 30 s).
     checkpoint_interval: Optional[float] = 0.030
     codec: str = "packed"
@@ -88,40 +94,43 @@ class RunConfig:
         if self.ckpt_chunk_size < 1:
             raise ConfigError("ckpt_chunk_size must be positive")
 
+    def stack_spec(self) -> StackSpec:
+        """The declared stage stack for this run.
+
+        ``stack`` (a registered stack name) wins when set; otherwise the
+        variant maps onto its canonical V0–V3 stack.
+        """
+        if self.stack is not None:
+            return variant_stack(self.stack)
+        return variant_stack(_VARIANT_STACK_NAMES[self.variant])
+
     def c3_config(self) -> C3Config:
-        """Derive the protocol-layer configuration for this variant."""
-        v = self.variant
-        if v is Variant.UNMODIFIED:
-            return C3Config(
-                codec=self.codec,
-                checkpoint_interval=None,
-                protocol_enabled=False,
-                piggyback_enabled=False,
-                save_app_state=False,
-            )
-        if v is Variant.PIGGYBACK:
-            return C3Config(
-                codec=self.codec,
-                checkpoint_interval=None,
-                protocol_enabled=True,
-                save_app_state=False,
-            )
-        if v is Variant.NO_APP_STATE:
-            return C3Config(
-                codec=self.codec,
-                checkpoint_interval=self.checkpoint_interval,
-                protocol_enabled=True,
-                save_app_state=False,
-            )
-        return C3Config(
-            codec=self.codec,
-            checkpoint_interval=self.checkpoint_interval,
-            protocol_enabled=True,
-            save_app_state=True,
+        """Deprecated: derive the protocol-layer configuration.
+
+        The boolean-flag ``C3Config`` is now itself derived from the stage
+        stack; prefer :meth:`stack_spec` (and
+        ``stack_spec().c3_config(self)`` where the legacy object is still
+        needed).
+        """
+        warnings.warn(
+            "RunConfig.c3_config() is deprecated; variants are declared "
+            "stage stacks now — use RunConfig.stack_spec()",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.stack_spec().c3_config(self)
 
     @property
     def checkpointing_active(self) -> bool:
-        return self.variant in (Variant.NO_APP_STATE, Variant.FULL) and (
+        return "checkpoint" in self.stack_spec().stages and (
             self.checkpoint_interval is not None
         )
+
+
+#: Canonical variant → stack-name mapping (Section 6.2).
+_VARIANT_STACK_NAMES = {
+    Variant.UNMODIFIED: "V0",
+    Variant.PIGGYBACK: "V1",
+    Variant.NO_APP_STATE: "V2",
+    Variant.FULL: "V3",
+}

@@ -19,7 +19,7 @@ run under the recovery driver.  It exposes:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ConfigError
 from repro.simmpi.simulator import RankContext

@@ -73,6 +73,25 @@ class RunOutcome:
     def restarts(self) -> int:
         return max(0, len(self.attempts) - 1)
 
+    def stage_totals(self) -> dict[str, dict[str, float]]:
+        """Per-stage pipeline overhead, aggregated over ranks.
+
+        ``{stage_name: {"calls": int, "seconds": float}}`` from the final
+        attempt's :class:`~repro.protocol.layer.LayerStats`; empty for V0
+        (the empty stack dispatches into no stages).
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for stats in self.layer_stats:
+            if stats is None:
+                continue
+            for name, calls in getattr(stats, "stage_calls", {}).items():
+                entry = totals.setdefault(name, {"calls": 0, "seconds": 0.0})
+                entry["calls"] += calls
+            for name, seconds in getattr(stats, "stage_seconds", {}).items():
+                entry = totals.setdefault(name, {"calls": 0, "seconds": 0.0})
+                entry["seconds"] += seconds
+        return totals
+
 
 def run_with_recovery(
     app_main: AppMain,
@@ -96,10 +115,13 @@ def run_with_recovery(
     storage.crash_plan = (
         failures if failures.remaining_checkpoint_crashes() else None
     )
-    c3cfg = config.c3_config()
-    # V0 "Unmodified Program" runs on the raw communicator: no layer, no
-    # piggyback word, no protocol state — the paper's true baseline.
-    use_raw = not c3cfg.protocol_enabled and not c3cfg.piggyback_enabled
+    # Resolve the declared stage stack for this run (the V0-V3 mapping, or
+    # a custom registered stack named by config.stack).
+    spec = config.stack_spec()
+    c3cfg = spec.c3_config(config)
+    # The empty stack is V0 "Unmodified Program": the pipeline in raw
+    # pass-through mode — no piggyback word, no protocol state.
+    use_raw = not spec.stages
     outcome = RunOutcome(results=[])
     wall_start = time.perf_counter()
     commits_at_start = storage.commits
@@ -118,7 +140,7 @@ def run_with_recovery(
                 layers[rank_ctx.rank] = adapter
                 rank_ctx.c3 = adapter
                 return app_main(C3AppContext(rank_ctx, adapter))
-            layer = C3Layer(rank_ctx.comm, c3cfg, storage)
+            layer = C3Layer(rank_ctx.comm, c3cfg, storage, stack=spec)
             layers[rank_ctx.rank] = layer
             rank_ctx.c3 = layer
             restored_state = None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.errors import MatchError, SimMPIError
+from repro.errors import MatchError
 from repro.simmpi import collectives_impl as coll
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, is_user_tag
 from repro.simmpi.group import Group

@@ -9,7 +9,7 @@ etc.) built from a seeded RNG so adversarial tests are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import ConfigError

@@ -2,8 +2,9 @@
 
 Each rank runs its application function on a dedicated Python thread, but the
 scheduler guarantees **exactly one** rank thread executes at any moment
-(baton-passing over a single condition variable).  This gives every rank a
-real Python call stack — which the precompiler's checkpoint runtime walks
+(baton-passing over per-process events — each ``Proc`` owns its private
+``run_gate``, so a handoff wakes exactly one thread).  This gives every rank
+a real Python call stack — which the precompiler's checkpoint runtime walks
 with ``sys._getframe`` — while keeping execution fully deterministic.
 """
 
@@ -54,6 +55,10 @@ class Proc:
         self.main = main
         self.state = ProcState.NEW
         self.mailbox = Mailbox(rank)
+        #: Private baton gate: set by the scheduler to grant this rank a
+        #: slice, cleared by the rank on wake.  Being per-process, a grant
+        #: wakes exactly this thread (no shared-condition thundering herd).
+        self.run_gate = threading.Event()
         self.thread: Optional[threading.Thread] = None
         self.kill_flag = False
         self.block_info: Optional[BlockInfo] = None

@@ -2,12 +2,21 @@
 
 Design
 ------
-All rank threads plus the scheduler share one condition variable and one
-``running`` token.  A rank runs only while ``running == its rank``; the
-scheduler runs only while ``running == SCHED``.  Control transfers are
-explicit (``_switch_to_scheduler`` / ``_grant``), so the interleaving of
-ranks is fully determined by the scheduler's policy and seed — a requirement
-for reproducing protocol bugs found by randomised testing.
+Baton passing over per-thread events.  Each rank's :class:`Proc` owns a
+private ``run_gate`` event and the scheduler owns one of its own; a
+control transfer sets exactly the target's event, so a handoff wakes
+exactly one thread.  (The original design shared a single condition
+variable and ``notify_all``-ed every handoff, waking all ``nprocs``
+parked rank threads per simulated MPI call just so they could observe
+``running != my_rank`` and sleep again — O(nprocs) spurious wakeups per
+scheduling point, measurable in ``bench_protocol_micro``.)  Control
+transfers are explicit (``_switch_to_scheduler`` / ``grant``), so the
+interleaving of ranks is fully determined by the scheduler's policy and
+seed — a requirement for reproducing protocol bugs found by randomised
+testing.  The strict baton discipline (exactly one thread is ever
+runnable) is what makes the two-event ping-pong safe: an event is only
+ever set by the thread handing over the baton and cleared by its owner
+on wake.
 
 Scheduling points occur at every simulated MPI call (and anywhere the
 application calls ``yield_point`` explicitly).  Between scheduling points a
@@ -32,7 +41,7 @@ from __future__ import annotations
 
 import threading
 import time as _time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError, DeadlockError, ProcessKilled
 from repro.simmpi.mailbox import RecvDescriptor
@@ -41,9 +50,6 @@ from repro.util.rng import RngStream
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simmpi.simulator import Simulator
-
-#: Token meaning "the scheduler holds the baton".
-SCHED = -1
 
 POLICIES = ("random", "round_robin")
 
@@ -57,8 +63,8 @@ class Scheduler:
         self.sim = sim
         self.policy = policy
         self.rng = RngStream(seed, "scheduler")
-        self._cv = threading.Condition()
-        self._running = SCHED
+        #: Set when the baton is handed back to the scheduler thread.
+        self._sched_gate = threading.Event()
         self._rr_cursor = 0
         #: Total scheduling slices granted (observability).
         self.total_slices = 0
@@ -93,11 +99,9 @@ class Scheduler:
             self.block(proc, BlockInfo("recv", desc))
 
     def _switch_to_scheduler(self, proc: Proc) -> None:
-        with self._cv:
-            self._running = SCHED
-            self._cv.notify_all()
-            while self._running != proc.rank:
-                self._cv.wait()
+        self._sched_gate.set()
+        proc.run_gate.wait()
+        proc.run_gate.clear()
         self._check_kill(proc)
 
     def _check_kill(self, proc: Proc) -> None:
@@ -107,15 +111,12 @@ class Scheduler:
 
     def finish(self, proc: Proc) -> None:
         """Called by a rank thread as its very last act: hand back the baton."""
-        with self._cv:
-            self._running = SCHED
-            self._cv.notify_all()
+        self._sched_gate.set()
 
     def wait_first_grant(self, proc: Proc) -> None:
         """Entry gate: a new thread parks here until its first slice."""
-        with self._cv:
-            while self._running != proc.rank:
-                self._cv.wait()
+        proc.run_gate.wait()
+        proc.run_gate.clear()
         self._check_kill(proc)
 
     # ------------------------------------------------------------------ #
@@ -131,11 +132,9 @@ class Scheduler:
         # and in-flight messages would never come due.
         self.sim.clock.charge(self.sim.clock.cost.step)
         t0 = _time.perf_counter()
-        with self._cv:
-            self._running = proc.rank
-            self._cv.notify_all()
-            while self._running != SCHED:
-                self._cv.wait()
+        proc.run_gate.set()
+        self._sched_gate.wait()
+        self._sched_gate.clear()
         proc.wall_seconds += _time.perf_counter() - t0
 
     def pick(self, runnable: list[Proc]) -> Proc:

@@ -2,7 +2,6 @@
 must never be used for recovery (commit discipline, paper Section 4.1
 phase 4 + our storage commit record)."""
 
-import pytest
 
 from repro.protocol import C3Config, C3Layer
 from repro.runtime import RunConfig, run_with_recovery

@@ -7,11 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.precompiler.iterators import (
-    RangeIterator,
-    SequenceIterator,
-    c3_iter,
-)
+from repro.precompiler.iterators import c3_iter
 
 
 def drain(it):

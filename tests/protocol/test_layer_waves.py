@@ -8,7 +8,7 @@ content, message classification effects, and the mySendCount bookkeeping.
 import pytest
 
 from repro.protocol import C3Config, C3Layer
-from repro.simmpi import SUM, run_simple
+from repro.simmpi import run_simple
 from repro.statesave import Storage
 
 

@@ -9,30 +9,40 @@ from repro.simmpi import SUM, FailureSchedule
 from repro.statesave import Storage
 
 
+def derived(run_cfg):
+    """The modern path: C3Config derived from the declared stage stack."""
+    return run_cfg.stack_spec().c3_config(run_cfg)
+
+
 class TestVariantMapping:
     def test_unmodified(self):
-        cfg = RunConfig(nprocs=2, variant=Variant.UNMODIFIED).c3_config()
+        cfg = derived(RunConfig(nprocs=2, variant=Variant.UNMODIFIED))
         assert not cfg.protocol_enabled
         assert not cfg.piggyback_enabled
         assert cfg.checkpoint_interval is None
 
     def test_piggyback(self):
-        cfg = RunConfig(nprocs=2, variant=Variant.PIGGYBACK).c3_config()
+        cfg = derived(RunConfig(nprocs=2, variant=Variant.PIGGYBACK))
         assert cfg.protocol_enabled
         assert cfg.piggyback_enabled
         assert cfg.checkpoint_interval is None
 
     def test_no_app_state(self):
-        cfg = RunConfig(nprocs=2, variant=Variant.NO_APP_STATE,
-                        checkpoint_interval=0.5).c3_config()
+        cfg = derived(RunConfig(nprocs=2, variant=Variant.NO_APP_STATE,
+                                checkpoint_interval=0.5))
         assert cfg.protocol_enabled
         assert not cfg.save_app_state
         assert cfg.checkpoint_interval == 0.5
 
     def test_full(self):
-        cfg = RunConfig(nprocs=2, variant=Variant.FULL,
-                        checkpoint_interval=0.5).c3_config()
+        cfg = derived(RunConfig(nprocs=2, variant=Variant.FULL,
+                                checkpoint_interval=0.5))
         assert cfg.save_app_state
+
+    def test_c3_config_shim_warns_and_matches(self):
+        run_cfg = RunConfig(nprocs=2, variant=Variant.FULL, checkpoint_interval=0.5)
+        with pytest.warns(DeprecationWarning, match="stack_spec"):
+            assert run_cfg.c3_config() == derived(run_cfg)
 
     def test_checkpointing_active_flag(self):
         assert RunConfig(nprocs=2, variant=Variant.FULL).checkpointing_active

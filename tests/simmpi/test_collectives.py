@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.simmpi import MAX, MIN, PROD, SUM, run_simple
+from repro.simmpi import MAX, MIN, SUM, run_simple
 
 SIZES = [1, 2, 3, 4, 5, 7, 8, 16]
 ORDERINGS = ["fifo", "per_tag_fifo", "random"]

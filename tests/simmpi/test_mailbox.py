@@ -1,6 +1,5 @@
 """Unit tests for the MPI matching engine."""
 
-import pytest
 
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
 from repro.simmpi.mailbox import Mailbox, RecvDescriptor
