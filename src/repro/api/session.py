@@ -26,8 +26,9 @@ import itertools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar, Union
 
 from repro.api.registry import AppMain, AppSpec, _FunctionApp, get_app, rehydrate
 from repro.errors import ConfigError
@@ -49,6 +50,11 @@ AppLike = Union[str, AppSpec, AppMain]
 FailuresLike = Union[None, FailureSchedule, Callable[["SweepCell"], Optional[FailureSchedule]]]
 
 _CONFIG_FIELDS = frozenset(f.name for f in fields(RunConfig))
+
+_T = TypeVar("_T")
+
+#: Shared enum-or-string coercion (also used by ``repro.chaos`` scenarios).
+_coerce_variant = Variant.coerce
 
 
 def default_storage_factory() -> Storage:
@@ -124,8 +130,13 @@ class SweepResult:
         return [row.as_dict() for row in self.rows]
 
     def select(self, **coords: Any) -> list[RunRow]:
-        """Rows whose cell matches every given coordinate
-        (e.g. ``select(variant=Variant.FULL, seed=3)``)."""
+        """Rows whose cell matches every given coordinate.
+
+        ``variant`` accepts the enum or its string spelling —
+        ``select(variant=Variant.FULL)`` and ``select(variant="full")``
+        are the same query."""
+        if "variant" in coords:
+            coords = dict(coords, variant=_coerce_variant(coords["variant"]))
         out = []
         for row in self.rows:
             cell_view = dict(row.cell.overrides)
@@ -141,7 +152,8 @@ class SweepResult:
         return out
 
     def outcome(self, **coords: Any) -> RunOutcome:
-        """The unique outcome at the given coordinates."""
+        """The unique outcome at the given coordinates (``variant`` may be
+        an enum or its string spelling, as in :meth:`select`)."""
         rows = self.select(**coords)
         if len(rows) != 1:
             raise ConfigError(
@@ -195,6 +207,13 @@ def _execute_cell(payload: tuple) -> RunOutcome:
     if kind == "path":
         # The cell's own ckpt_* knobs apply at the per-cell directory.
         storage = Storage.from_config(replace(config, storage_path=value))
+        # Every sweep cell starts from a fresh storage (the documented
+        # contract).  The per-cell slug normally guarantees an empty
+        # directory, but a retried cell — e.g. the serial fallback after a
+        # worker-pool failure part-way through — must not resume from its
+        # own first pass's checkpoints and skew the row's accounting.
+        if storage.committed_epoch() is not None or storage.store.streams():
+            storage.wipe()
     elif kind == "config":
         storage = Storage.from_config(config)  # in-memory, knobs honoured
     else:
@@ -324,6 +343,7 @@ class Session:
         base_config = self._apply_defaults(base_config)
         app_ref = self._app_ref(app)
         app_name = self._app_name(app)
+        variants = tuple(_coerce_variant(v) for v in variants)
 
         seed_axis = tuple(seeds) if seeds is not None else (base_config.seed,)
         nprocs_axis = tuple(nprocs) if nprocs is not None else (base_config.nprocs,)
@@ -390,32 +410,57 @@ class Session:
 
     # ------------------------------------------------------------------ #
 
-    def _execute(
+    def map(
         self,
-        payloads: list[tuple],
-        parallel: bool,
-        max_workers: Optional[int],
-    ) -> list[RunOutcome]:
+        fn: Callable[[Any], _T],
+        payloads: Iterable[Any],
+        *,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> list[_T]:
+        """Apply ``fn`` to every payload under the session's fan-out policy.
+
+        This is the primitive behind :meth:`sweep` (and the chaos
+        campaign runner): a :class:`ProcessPoolExecutor` when ``fn`` and
+        every payload can reach workers, an in-process loop otherwise.
+        Results preserve payload order and — because every payload is an
+        independent deterministic simulation — are bit-identical across
+        the two backends.  ``fn`` must be a module-level callable for the
+        parallel path to be eligible.
+        """
+        payloads = list(payloads)
         if parallel and len(payloads) > 1:
             try:
-                # Probe the parts whose picklability actually varies (the
-                # app reference and the storage spec), not the whole list —
-                # the pool serialises the full payloads itself.
-                pickle.dumps((payloads[0][0], payloads[0][4]))
+                # Probe everything the pool would serialise — the callable
+                # and the *complete* payloads, including per-cell params and
+                # grid values (a single unpicklable param used to reach the
+                # pool and kill it instead of falling back).
+                pickle.dumps((fn, payloads))
             except Exception:
                 # Closures / ad-hoc objects cannot reach workers; the serial
                 # path computes the identical result in-process.
                 parallel = False
         if not parallel or len(payloads) <= 1:
-            return [_execute_cell(p) for p in payloads]
+            return [fn(p) for p in payloads]
         workers = min(
             len(payloads),
             max_workers or self.max_workers or os.cpu_count() or 1,
         )
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_execute_cell, payloads))
-        except pickle.PicklingError:
-            # Something cell-specific (params, failure events) escaped the
-            # probe; same cells, same order, in-process.
-            return [_execute_cell(p) for p in payloads]
+                return list(pool.map(fn, payloads))
+        except (pickle.PicklingError, BrokenProcessPool, AttributeError, TypeError):
+            # Something escaped the probe (an object whose __reduce__ only
+            # fails inside the pool, a worker that died mid-serialisation);
+            # same payloads, same order, in-process.
+            return [fn(p) for p in payloads]
+
+    def _execute(
+        self,
+        payloads: list[tuple],
+        parallel: bool,
+        max_workers: Optional[int],
+    ) -> list[RunOutcome]:
+        return self.map(
+            _execute_cell, payloads, parallel=parallel, max_workers=max_workers
+        )

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.chaos``."""
+
+import sys
+
+from repro.chaos.cli import main
+
+sys.exit(main())

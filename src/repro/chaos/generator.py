@@ -1,0 +1,190 @@
+"""Seeded generation of adversarial failure schedules.
+
+``generate_campaign(master_seed, count)`` deterministically produces a
+mixed population of scenarios across five families, each aimed at a
+different recovery-path seam:
+
+* ``multi_kill`` — several stopping faults in one run, spread across the
+  baseline's lifetime (cascades: later kills may land in later attempts).
+* ``kill_during_recovery`` — a first-attempt kill plus a kill pinned to
+  attempt 1, so the second fault strikes *while replay is in progress*.
+* ``ckpt_crash`` — a mid-checkpoint torn write (0–3 chunks land, manifest
+  never published), optionally stacked with a later kill.
+* ``corrupt_manifest`` — the checkpoint write completes but publishes a
+  checksum-invalid manifest, stacked with a kill so recovery must *reject*
+  the bad generation under pressure.
+* ``detector_edge`` — two kills separated by almost exactly one failure-
+  detector timeout, straddling the detection boundary from both sides.
+
+Same ``(master_seed, count, axes)`` ⇒ byte-identical scenario list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.chaos.scenario import DEFAULT_VARIANTS, ChaosScenario, CrashSpec, KillSpec
+from repro.errors import ConfigError
+from repro.runtime.config import Variant
+from repro.util.rng import RngStream
+
+#: Generation weights: how often each family appears (normalised).
+KIND_WEIGHTS = (
+    ("multi_kill", 30),
+    ("kill_during_recovery", 20),
+    ("ckpt_crash", 20),
+    ("corrupt_manifest", 15),
+    ("detector_edge", 15),
+)
+
+#: Detector timeouts the generator samples; the paper's detection-latency
+#: experiments motivate exercising more than one.
+DETECTOR_TIMEOUTS = (0.02, 0.03)
+
+#: Checkpoint intervals sampled (virtual seconds) — chosen so the scaled
+#: workloads commit between ~2 and ~8 waves per run.
+CHECKPOINT_INTERVALS = (0.001, 0.0015, 0.0025)
+
+
+def _pick_kind(rng: RngStream) -> str:
+    total = sum(w for _, w in KIND_WEIGHTS)
+    roll = rng.integers(total)
+    for kind, weight in KIND_WEIGHTS:
+        if roll < weight:
+            return kind
+        roll -= weight
+    return KIND_WEIGHTS[-1][0]  # pragma: no cover - exhaustive above
+
+
+def _distinct_ranks(rng: RngStream, nprocs: int, count: int) -> list[int]:
+    ranks = list(range(nprocs))
+    rng.shuffle(ranks)
+    return ranks[: max(1, min(count, nprocs))]
+
+
+def generate_scenario(
+    rng: RngStream,
+    index: int,
+    *,
+    apps: Sequence[str],
+    variants: Sequence[str],
+    nprocs_choices: Sequence[int],
+    seed_range: tuple[int, int] = (0, 1000),
+) -> ChaosScenario:
+    """Draw one scenario from the campaign distribution."""
+    kind = _pick_kind(rng)
+    app = rng.choice(list(apps))
+    variant = rng.choice(list(variants))
+    nprocs = int(rng.choice(list(nprocs_choices)))
+    seed = rng.integers(seed_range[0], seed_range[1])
+    detector = rng.choice(DETECTOR_TIMEOUTS)
+    interval = rng.choice(CHECKPOINT_INTERVALS)
+    overrides: list[tuple[str, object]] = [
+        ("detector_timeout", detector),
+        ("checkpoint_interval", interval),
+    ]
+
+    kills: list[KillSpec] = []
+    crashes: list[CrashSpec] = []
+
+    if kind == "multi_kill":
+        n_kills = 2 + rng.integers(2)  # 2 or 3
+        for rank in _distinct_ranks(rng, nprocs, n_kills):
+            kills.append(KillSpec(frac=0.05 + 0.85 * rng.random(), rank=rank))
+    elif kind == "kill_during_recovery":
+        first, second = (_distinct_ranks(rng, nprocs, 2) * 2)[:2]
+        kills.append(KillSpec(frac=0.15 + 0.6 * rng.random(), rank=first))
+        # The second fault strikes early in the *restarted* attempt, while
+        # suppression exchange / replay is typically still in flight.
+        kills.append(
+            KillSpec(frac=0.02 + 0.4 * rng.random(), rank=second, attempt=1)
+        )
+    elif kind == "ckpt_crash":
+        victim = rng.integers(nprocs)
+        epoch = 1 + rng.integers(3)
+        crashes.append(
+            CrashSpec(rank=victim, epoch=epoch, after_chunks=rng.integers(3))
+        )
+        if rng.random() < 0.5:  # half the family stacks a later kill on top
+            kills.append(
+                KillSpec(frac=0.5 + 0.4 * rng.random(), rank=rng.integers(nprocs))
+            )
+        overrides.append(("ckpt_keep_last", 2))
+    elif kind == "corrupt_manifest":
+        victim = rng.integers(nprocs)
+        epoch = 1 + rng.integers(2)
+        crashes.append(CrashSpec(rank=victim, epoch=epoch, corrupt_manifest=True))
+        kills.append(
+            KillSpec(frac=0.4 + 0.5 * rng.random(), rank=rng.integers(nprocs))
+        )
+        overrides.append(("ckpt_keep_last", 2))
+    elif kind == "detector_edge":
+        first, second = (_distinct_ranks(rng, nprocs, 2) * 2)[:2]
+        frac = 0.1 + 0.6 * rng.random()
+        # Just-under vs just-over one detector timeout after the first kill:
+        # under lands both deaths in one detection window (one rollback),
+        # over splits them across windows (two rollbacks).
+        epsilon = detector * 0.1
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        kills.append(KillSpec(frac=frac, rank=first))
+        kills.append(
+            KillSpec(frac=frac, rank=second, offset=detector + sign * epsilon)
+        )
+    else:  # pragma: no cover - _pick_kind is exhaustive
+        raise ConfigError(f"unknown scenario kind {kind!r}")
+
+    return ChaosScenario(
+        name=f"c{index:04d}-{kind}",
+        kind=kind,
+        app=app,
+        variant=variant,
+        seed=seed,
+        nprocs=nprocs,
+        kills=tuple(kills),
+        crashes=tuple(crashes),
+        overrides=tuple(overrides),
+    )
+
+
+def generate_campaign(
+    master_seed: int,
+    count: int,
+    *,
+    apps: Iterable[str] = ("laplace", "dense_cg"),
+    variants: Iterable[str] = DEFAULT_VARIANTS,
+    nprocs_choices: Iterable[int] = (2, 3, 4),
+    kinds: Optional[Iterable[str]] = None,
+) -> list[ChaosScenario]:
+    """Deterministically generate ``count`` scenarios.
+
+    ``kinds`` filters the families (rejection sampling, so the scenarios
+    of a filtered campaign are a subsequence-like draw of the full one).
+    """
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    apps = tuple(apps)
+    # Normalise to canonical value strings up front, so any spelling the
+    # Session API accepts ("FULL", "no-app-state", the enum itself) yields
+    # identical scenarios — and a typo fails here, not mid-campaign.
+    variants = tuple(Variant.coerce(v).value for v in variants)
+    nprocs_choices = tuple(nprocs_choices)
+    wanted = set(kinds) if kinds is not None else None
+    known = {k for k, _ in KIND_WEIGHTS}
+    if wanted is not None and not wanted <= known:
+        raise ConfigError(
+            f"unknown scenario kinds {sorted(wanted - known)}; known: {sorted(known)}"
+        )
+    rng = RngStream(master_seed, "chaos-campaign")
+    out: list[ChaosScenario] = []
+    draws = 0
+    while len(out) < count:
+        scenario = generate_scenario(
+            rng, len(out), apps=apps, variants=variants,
+            nprocs_choices=nprocs_choices,
+        )
+        draws += 1
+        if draws > count * 1000:  # pragma: no cover - only a degenerate filter
+            raise ConfigError("kind filter rejects (nearly) every scenario")
+        if wanted is None or scenario.kind in wanted:
+            out.append(scenario)
+    return out

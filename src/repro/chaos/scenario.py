@@ -1,0 +1,149 @@
+"""Chaos scenarios: portable descriptions of adversarial failure schedules.
+
+A :class:`ChaosScenario` is pure data — JSON-serialisable, picklable,
+diffable — describing one run of one application under one configuration
+with a stack of injected faults.  Kill times are expressed as *fractions*
+of the failure-free run's first-attempt virtual time (plus an optional
+absolute offset, for detector-edge timings), so a scenario generated
+without knowing the workload's duration lands its faults where it intended
+once the campaign runner has measured the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Optional
+
+from repro.errors import ConfigError
+from repro.runtime.config import RunConfig, Variant
+from repro.simmpi.failures import CheckpointCrash, FailureSchedule, KillEvent
+
+#: Variant spellings the campaign sweeps by default: V1–V3.  V0 has no
+#: protocol layer, so "transparent recovery" is not a claim it makes.
+DEFAULT_VARIANTS = ("piggyback", "no-app-state", "full")
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """One stopping fault, positioned relative to the baseline run.
+
+    Resolved kill time is ``frac * horizon + offset`` where ``horizon`` is
+    the failure-free baseline's first-attempt virtual time.  ``offset``
+    exists for detector-edge schedules (a second kill exactly one detector
+    timeout — give or take an epsilon — after the first).  ``attempt``
+    pins the kill to one recovery attempt, as in :class:`KillEvent`.
+    """
+
+    frac: float
+    rank: int
+    attempt: Optional[int] = None
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frac <= 2.0:
+            raise ConfigError(f"kill frac must be in [0, 2], got {self.frac}")
+        if self.rank < 0:
+            raise ConfigError(f"kill rank must be >= 0, got {self.rank}")
+
+    def resolve(self, horizon: float) -> KillEvent:
+        return KillEvent(
+            max(0.0, self.frac * horizon + self.offset), self.rank, self.attempt
+        )
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One mid-checkpoint crash (mirrors :class:`CheckpointCrash`)."""
+
+    rank: int
+    epoch: int
+    after_chunks: int = 1
+    corrupt_manifest: bool = False
+
+    def resolve(self) -> CheckpointCrash:
+        return CheckpointCrash(
+            self.rank, self.epoch, self.after_chunks, self.corrupt_manifest
+        )
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One campaign cell: coordinates, config overrides, fault stack."""
+
+    name: str
+    kind: str
+    app: str
+    variant: str
+    seed: int
+    nprocs: int
+    kills: tuple[KillSpec, ...] = ()
+    crashes: tuple[CrashSpec, ...] = ()
+    #: Extra ``RunConfig`` field overrides (detector_timeout,
+    #: checkpoint_interval, ckpt_keep_last, …), applied over the campaign's
+    #: base config.
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    # ------------------------------------------------------------------ #
+
+    def config(self, base: RunConfig) -> RunConfig:
+        """The run configuration this scenario executes under."""
+        return replace(
+            base,
+            variant=Variant.coerce(self.variant),
+            seed=self.seed,
+            nprocs=self.nprocs,
+            storage_path=None,  # chaos cells are always in-memory
+            **dict(self.overrides),
+        )
+
+    def schedule(self, horizon: float) -> FailureSchedule:
+        """Materialise the fault stack against a measured baseline."""
+        return FailureSchedule(
+            (k.resolve(horizon) for k in self.kills),
+            checkpoint_crashes=tuple(c.resolve() for c in self.crashes),
+        )
+
+    def describe(self) -> str:
+        parts = [f"{self.app}/{self.variant} seed={self.seed} np={self.nprocs}"]
+        for k in self.kills:
+            att = f"@a{k.attempt}" if k.attempt is not None else ""
+            off = f"{k.offset:+.4g}s" if k.offset else ""
+            parts.append(f"kill(r{k.rank} t={k.frac:.2f}h{off}{att})")
+        for c in self.crashes:
+            tag = "corrupt" if c.corrupt_manifest else f"torn@{c.after_chunks}"
+            parts.append(f"ckpt-crash(r{c.rank} e{c.epoch} {tag})")
+        for name, value in self.overrides:
+            parts.append(f"{name}={value}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (campaign reports, pinned regression schedules).
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out["kills"] = [asdict(k) for k in self.kills]
+        out["crashes"] = [asdict(c) for c in self.crashes]
+        out["overrides"] = [[n, v] for n, v in self.overrides]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosScenario":
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            app=data["app"],
+            variant=data["variant"],
+            seed=int(data["seed"]),
+            nprocs=int(data["nprocs"]),
+            kills=tuple(KillSpec(**k) for k in data.get("kills", ())),
+            crashes=tuple(CrashSpec(**c) for c in data.get("crashes", ())),
+            overrides=tuple(
+                (n, v) for n, v in data.get("overrides", ())
+            ),
+        )
+
+    def cell_key(self) -> tuple:
+        """Coordinates of the failure-free baseline this scenario is
+        checked against (scenarios sharing a key share one baseline)."""
+        return (self.app, self.variant, self.seed, self.nprocs, self.overrides)

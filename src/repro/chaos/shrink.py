@@ -1,0 +1,93 @@
+"""Schedule shrinking: minimise a failing scenario before reporting it.
+
+A campaign failure often arrives as a stack of faults (three kills, a
+torn checkpoint, a detector-edge timing); the bug usually needs one or
+two of them.  :func:`shrink_scenario` is a greedy delta-debugger over the
+event list: repeatedly drop one kill or crash — and simplify surviving
+events (unpin attempts, zero chunk offsets) — keeping every change that
+still fails the invariants.  The result is the smallest schedule the
+shrinker can prove still breaks, which is what gets pinned as a
+regression.
+
+The checker runs the *same* three-invariant verdict the campaign uses, so
+"still fails" means "still violates a machine-checked invariant", not
+"looks similar".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.chaos.scenario import ChaosScenario
+
+#: A checker maps a scenario to a verdict with an ``ok`` attribute.
+Checker = Callable[[ChaosScenario], object]
+
+#: Safety valve: a shrink never runs more scenario checks than this.
+MAX_CHECKS = 64
+
+
+def _candidates(scenario: ChaosScenario) -> Iterator[ChaosScenario]:
+    """Single-step simplifications, most aggressive first."""
+    # Drop one kill.
+    for i in range(len(scenario.kills)):
+        yield replace(
+            scenario, kills=scenario.kills[:i] + scenario.kills[i + 1:]
+        )
+    # Drop one crash.
+    for i in range(len(scenario.crashes)):
+        yield replace(
+            scenario, crashes=scenario.crashes[:i] + scenario.crashes[i + 1:]
+        )
+    # Unpin an attempt-gated kill (is the bug really about recovery timing?).
+    for i, kill in enumerate(scenario.kills):
+        if kill.attempt is not None:
+            kills = list(scenario.kills)
+            kills[i] = replace(kill, attempt=None)
+            yield replace(scenario, kills=tuple(kills))
+    # Remove a detector-edge offset.
+    for i, kill in enumerate(scenario.kills):
+        if kill.offset:
+            kills = list(scenario.kills)
+            kills[i] = replace(kill, offset=0.0)
+            yield replace(scenario, kills=tuple(kills))
+    # Simplify a torn write to "before any byte lands".
+    for i, crash in enumerate(scenario.crashes):
+        if crash.after_chunks:
+            crashes = list(scenario.crashes)
+            crashes[i] = replace(crash, after_chunks=0)
+            yield replace(scenario, crashes=tuple(crashes))
+
+
+def shrink_scenario(
+    scenario: ChaosScenario,
+    check: Checker,
+    max_checks: int = MAX_CHECKS,
+) -> ChaosScenario:
+    """Greedily minimise ``scenario`` while ``check(...)`` keeps failing.
+
+    ``scenario`` must already fail under ``check``; the returned scenario
+    is guaranteed to fail too (it is only replaced when a simplification
+    re-confirms the failure).  Budget-bounded by ``max_checks`` scenario
+    executions.  Config overrides are never touched: they are part of the
+    baseline cell, and shrinking must not change which baseline the
+    failure is measured against.
+    """
+    current = scenario
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            verdict = check(candidate)
+            if not getattr(verdict, "ok", True):
+                current = candidate
+                progress = True
+                break  # restart candidate enumeration from the smaller form
+    if current is scenario:
+        return scenario
+    return replace(current, name=f"{scenario.name}-shrunk")

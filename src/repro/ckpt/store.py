@@ -126,6 +126,17 @@ class CheckpointStore:
         a crash mid-write (some chunks persisted, manifest never published).
         """
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        # Overwrite awareness: a recovery attempt that re-takes an epoch's
+        # checkpoint republishes (stream, generation).  Remember the old
+        # manifest so the chunks only it referenced can be reclaimed after
+        # the new one is published — otherwise every post-failure rewrite
+        # strands the previous write's chunks as permanent orphans.
+        old_manifest = None
+        if self.backend.exists(self._manifest_key(stream, generation)):
+            try:
+                old_manifest = self.read_manifest(stream, generation, verify=False)
+            except StorageError:
+                old_manifest = None  # a torn/corrupt predecessor references nothing
         chunks = split_chunks(payload, self.chunk_size)
         stats = DeltaStats(chunks_total=len(chunks), bytes_logical=len(payload))
         refs: list[ChunkRef] = []
@@ -166,6 +177,21 @@ class CheckpointStore:
         self.chunks_reused += stats.chunks_reused
         self.generations_saved += 1
         self.history.append(manifest)
+        if old_manifest is not None:
+            # Only chunks the rewrite actually replaced are candidates; in
+            # the common recovery case (same state re-taken, chunks dedupe)
+            # this set is empty and the full reference scan is skipped —
+            # keeping the write path on the targeted-GC cost model.
+            candidates = {
+                self._chunk_key(ref.digest, old_manifest.codec)
+                for ref in old_manifest.chunks
+            } - {self._chunk_key(ref.digest, manifest.codec) for ref in refs}
+            if candidates:
+                referenced = self._referenced_chunk_keys()
+                for key in candidates - referenced:
+                    self.backend.delete(key)
+            # Published bytes changed underneath any cached validation.
+            self.mutations += 1
         return manifest
 
     def load(self, stream: str, generation: int) -> Any:

@@ -35,6 +35,30 @@ class Variant(enum.Enum):
     NO_APP_STATE = "no-app-state"
     FULL = "full"
 
+    @classmethod
+    def coerce(cls, value: "Variant | str") -> "Variant":
+        """Accept a :class:`Variant` or its string spelling.
+
+        Strings match either the enum value (``"no-app-state"``) or the
+        member name in any case (``"NO_APP_STATE"``, ``"full"``) —
+        mirroring how ``Session.run`` accepts registered app names in
+        place of app objects.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value)
+            except ValueError:
+                try:
+                    return cls[value.upper().replace("-", "_")]
+                except KeyError:
+                    known = ", ".join(v.value for v in cls)
+                    raise ConfigError(
+                        f"unknown variant {value!r}; known: {known}"
+                    ) from None
+        raise ConfigError(f"not a variant: {value!r}")
+
     @property
     def paper_name(self) -> str:
         return {

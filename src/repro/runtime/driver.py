@@ -29,7 +29,7 @@ from repro.errors import RecoveryError
 from repro.protocol.layer import C3Layer
 from repro.runtime.config import RunConfig, Variant
 from repro.runtime.context import C3AppContext
-from repro.simmpi.failures import FailureSchedule
+from repro.simmpi.failures import CheckpointCrash, FailureSchedule, KillEvent
 from repro.simmpi.simulator import SimConfig, SimResult, Simulator
 from repro.statesave.storage import Storage
 
@@ -47,6 +47,12 @@ class AttemptRecord:
     started_from_epoch: Optional[int]
     virtual_time: float
     wall_seconds: float
+    #: Failure-schedule events realised *during this attempt* (the
+    #: attempt-indexed accounting chaos campaigns and post-mortems read):
+    #: time-indexed kills consumed by the scheduler …
+    kills: tuple[KillEvent, ...] = ()
+    #: … and mid-checkpoint crashes realised by stable storage.
+    checkpoint_crashes: tuple[CheckpointCrash, ...] = ()
 
 
 @dataclass
@@ -119,6 +125,13 @@ def run_with_recovery(
     # a custom registered stack named by config.stack).
     spec = config.stack_spec()
     c3cfg = spec.c3_config(config)
+    # A stack that omits application state from its checkpoints (V2,
+    # "Checkpointing, No Application State") cannot *resume* from one: the
+    # protocol window would be mid-run while the application restarts from
+    # its entry point, desynchronising replay (log-kind mismatches, served
+    # stale early messages, deadlocks).  Such runs measure checkpointing
+    # overhead; their only sound recovery is re-execution from scratch.
+    can_restore = config.checkpointing_active and c3cfg.save_app_state
     # The empty stack is V0 "Unmodified Program": the pipeline in raw
     # pass-through mode — no piggyback word, no protocol state.
     use_raw = not spec.stages
@@ -132,7 +145,10 @@ def run_with_recovery(
     layers: list[Optional[CommLike]] = [None] * config.nprocs
 
     while True:
-        committed = storage.committed_epoch() if config.checkpointing_active else None
+        failures.begin_attempt(attempt_index)
+        kills_before = len(failures.consumed_events())
+        crashes_before = len(failures.fired_checkpoint_crashes())
+        committed = storage.committed_epoch() if can_restore else None
 
         def rank_main(rank_ctx, _committed=committed):
             if use_raw:
@@ -183,6 +199,10 @@ def run_with_recovery(
                 started_from_epoch=committed,
                 virtual_time=result.virtual_time,
                 wall_seconds=result.wall_seconds,
+                kills=failures.consumed_events()[kills_before:],
+                checkpoint_crashes=failures.fired_checkpoint_crashes()[
+                    crashes_before:
+                ],
             )
         )
         outcome.total_virtual_time += result.virtual_time

@@ -5,12 +5,40 @@ responding — it neither sends nor receives.  Injection is expressed as a
 schedule of ``(virtual_time, rank)`` kill events, or as derived schedules
 (kill a random rank at a random time in a window, kill during checkpointing,
 etc.) built from a seeded RNG so adversarial tests are reproducible.
+
+Multi-failure semantics across recovery attempts
+------------------------------------------------
+
+A schedule is *stateful across attempts*: an event consumed in attempt *n*
+does not fire again in attempt *n+1* — the faulty node has been replaced.
+Three rules pin down what "consumed" means when a schedule carries more
+than one event:
+
+* **Time-indexed kills** (:class:`KillEvent`) are measured on the attempt's
+  own virtual clock, which restarts at 0 every attempt.  An event that was
+  *not* reached in attempt *n* (because the failure detector ended the
+  attempt first) stays armed and will fire in a later attempt once that
+  attempt's clock reaches it — this is how a single schedule expresses a
+  cascade of failures across restarts.
+* **Attempt-pinned kills** (``KillEvent(t, r, attempt=k)``) are eligible
+  only while attempt *k* is running; they model faults *during recovery*
+  (a node dying while everyone is replaying attempt ``k``'s restart).  An
+  attempt-pinned event whose attempt has passed never fires.
+* **Mid-checkpoint crashes** (:class:`CheckpointCrash`) are epoch-indexed,
+  not time-indexed: each fires at most once, the first time its
+  ``(rank, epoch)`` checkpoint write happens, in whichever attempt that
+  occurs.
+
+:meth:`FailureSchedule.reset` rewinds *everything* — consumed kills,
+attempt gating and fired checkpoint crashes — so a fresh simulator run
+replays the schedule from scratch (rerun-determinism harnesses rely on
+this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.errors import ConfigError
 from repro.util.rng import RngStream
@@ -18,16 +46,25 @@ from repro.util.rng import RngStream
 
 @dataclass(frozen=True)
 class KillEvent:
-    """Kill ``rank`` at virtual time ``time``."""
+    """Kill ``rank`` at virtual time ``time``.
+
+    ``attempt`` pins the event to one recovery attempt (0-based index):
+    ``None`` means "whenever the running attempt's clock reaches ``time``",
+    an integer means "only while attempt ``attempt`` is running" — the
+    kill-during-recovery scenario.
+    """
 
     time: float
     rank: int
+    attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ConfigError(f"kill time must be >= 0, got {self.time}")
         if self.rank < 0:
             raise ConfigError(f"kill rank must be >= 0, got {self.rank}")
+        if self.attempt is not None and self.attempt < 0:
+            raise ConfigError(f"kill attempt must be >= 0, got {self.attempt}")
 
 
 @dataclass(frozen=True)
@@ -67,8 +104,10 @@ class FailureSchedule:
     Two event families share the schedule: time-indexed :class:`KillEvent`
     kills (consumed by the scheduler) and :class:`CheckpointCrash` events
     (consumed by stable storage mid-write).  Both are stateful across
-    recovery attempts: an event consumed in attempt *n* does not fire in
-    attempt *n+1* — the faulty node has been replaced.
+    recovery attempts — see the module docstring for the exact
+    multi-failure semantics.  The recovery driver announces each attempt
+    via :meth:`begin_attempt`; standalone simulator runs default to
+    attempt 0.
     """
 
     def __init__(
@@ -76,9 +115,19 @@ class FailureSchedule:
         events: Iterable[KillEvent] = (),
         checkpoint_crashes: Iterable[CheckpointCrash] = (),
     ) -> None:
-        self._events = sorted(events, key=lambda e: (e.time, e.rank))
-        self._cursor = 0
-        self._checkpoint_crashes = list(checkpoint_crashes)
+        self._events: tuple[KillEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.rank))
+        )
+        self._pristine_crashes: tuple[CheckpointCrash, ...] = tuple(
+            checkpoint_crashes
+        )
+        self._consumed: list[KillEvent] = []
+        self._pending: list[KillEvent] = list(self._events)
+        self._checkpoint_crashes: list[CheckpointCrash] = list(
+            self._pristine_crashes
+        )
+        self._fired_crashes: list[CheckpointCrash] = []
+        self._attempt = 0
 
     @classmethod
     def none(cls) -> "FailureSchedule":
@@ -117,41 +166,111 @@ class FailureSchedule:
         rank = rng.integers(nprocs)
         return cls((KillEvent(time, rank),))
 
+    # ------------------------------------------------------------------ #
+    # Attempt gating.
+    # ------------------------------------------------------------------ #
+
+    def begin_attempt(self, index: int) -> None:
+        """Announce that recovery attempt ``index`` is starting.
+
+        Attempt-pinned events (``KillEvent.attempt is not None``) are only
+        eligible while their attempt is the current one.  The recovery
+        driver calls this before every simulator attempt; standalone
+        simulator runs stay on the default attempt 0.
+        """
+        if index < 0:
+            raise ConfigError(f"attempt index must be >= 0, got {index}")
+        self._attempt = index
+
+    @property
+    def current_attempt(self) -> int:
+        return self._attempt
+
+    def _eligible(self, event: KillEvent) -> bool:
+        return event.attempt is None or event.attempt == self._attempt
+
+    # ------------------------------------------------------------------ #
+    # Kill events.
+    # ------------------------------------------------------------------ #
+
     def next_time(self) -> float | None:
-        """Virtual time of the next pending kill, or None when exhausted."""
-        if self._cursor < len(self._events):
-            return self._events[self._cursor].time
-        return None
+        """Virtual time of the next pending *eligible* kill, or None.
+
+        Events pinned to a different attempt are invisible here: the
+        simulator uses this to advance virtual time, and jumping to a time
+        whose event cannot fire would stall the event loop.
+        """
+        times = [e.time for e in self._pending if self._eligible(e)]
+        return min(times) if times else None
 
     def due(self, now: float) -> list[KillEvent]:
-        """Pop every kill event whose time has arrived."""
+        """Pop every eligible kill event whose time has arrived."""
         out: list[KillEvent] = []
-        while self._cursor < len(self._events) and self._events[self._cursor].time <= now:
-            out.append(self._events[self._cursor])
-            self._cursor += 1
+        keep: list[KillEvent] = []
+        for event in self._pending:
+            if self._eligible(event) and event.time <= now:
+                out.append(event)
+            else:
+                keep.append(event)
+        self._pending = keep
+        self._consumed.extend(out)
         return out
 
     def remaining(self) -> list[KillEvent]:
-        return list(self._events[self._cursor:])
+        """Every not-yet-consumed kill event (any attempt)."""
+        return list(self._pending)
+
+    def consumed_events(self) -> tuple[KillEvent, ...]:
+        """Kill events already consumed, in consumption order."""
+        return tuple(self._consumed)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint crashes.
+    # ------------------------------------------------------------------ #
 
     def take_checkpoint_crash(self, rank: int, epoch: int) -> CheckpointCrash | None:
         """Pop the crash armed for ``(rank, epoch)``, if any (fires once)."""
         for index, crash in enumerate(self._checkpoint_crashes):
             if crash.rank == rank and crash.epoch == epoch:
-                return self._checkpoint_crashes.pop(index)
+                fired = self._checkpoint_crashes.pop(index)
+                self._fired_crashes.append(fired)
+                return fired
         return None
 
     def remaining_checkpoint_crashes(self) -> tuple[CheckpointCrash, ...]:
         return tuple(self._checkpoint_crashes)
 
+    def fired_checkpoint_crashes(self) -> tuple[CheckpointCrash, ...]:
+        """Checkpoint crashes already realised, in firing order."""
+        return tuple(self._fired_crashes)
+
+    # ------------------------------------------------------------------ #
+    # Whole-schedule operations.
+    # ------------------------------------------------------------------ #
+
     def reset(self) -> None:
-        """Rewind the schedule (a fresh simulator run replays it)."""
-        self._cursor = 0
+        """Rewind the schedule (a fresh simulator run replays it).
+
+        Restores consumed kill events, the attempt cursor *and* fired
+        checkpoint crashes — the schedule becomes indistinguishable from a
+        newly constructed one.
+        """
+        self._pending = list(self._events)
+        self._consumed.clear()
+        self._checkpoint_crashes = list(self._pristine_crashes)
+        self._fired_crashes.clear()
+        self._attempt = 0
 
     def shifted(self, dt: float) -> "FailureSchedule":
-        """A copy with every event time shifted by ``dt`` (clamped at 0)."""
+        """A pristine copy with every kill time shifted by ``dt`` (clamped
+        at 0).  Checkpoint crashes are epoch-indexed, not time-indexed, so
+        they carry over unchanged."""
         return FailureSchedule(
-            KillEvent(max(0.0, e.time + dt), e.rank) for e in self._events
+            (
+                KillEvent(max(0.0, e.time + dt), e.rank, e.attempt)
+                for e in self._events
+            ),
+            checkpoint_crashes=self._pristine_crashes,
         )
 
     def __len__(self) -> int:
@@ -160,4 +279,4 @@ class FailureSchedule:
     def __bool__(self) -> bool:
         """Truthiness covers *both* event families — a schedule holding only
         mid-checkpoint crashes must not read as empty."""
-        return bool(self._events or self._checkpoint_crashes)
+        return bool(self._events or self._pristine_crashes)

@@ -237,6 +237,11 @@ class Storage:
             return []
         return list(self.store.get_record(COMMIT_RECORD))
 
+    def commit_history(self) -> list[CommitRecord]:
+        """The commit records currently on storage, oldest first (a copy;
+        consistency auditors — e.g. chaos-campaign invariants — read this)."""
+        return self._commit_history()
+
     def commit(
         self, epoch: int, virtual_time: float, nprocs: Optional[int] = None
     ) -> None:

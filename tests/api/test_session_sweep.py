@@ -29,6 +29,19 @@ def ring_app(ctx):
     return state["acc"]
 
 
+@repro.app(name="param-driven", default_params=8)
+def param_driven_app(ctx):
+    """Iteration count from ctx.params; accepts a callable (for the
+    unpicklable-param fallback tests)."""
+    n = ctx.params() if callable(ctx.params) else ctx.params
+    state = ctx.checkpointable_state(lambda: {"i": 0, "acc": 0})
+    while state["i"] < n:
+        state["acc"] += ctx.mpi.allreduce(state["i"], SUM)
+        state["i"] += 1
+        ctx.potential_checkpoint()
+    return state["acc"]
+
+
 def counting_storage_factory():
     storage = Storage(None)
     counting_storage_factory.created.append(storage)
@@ -234,6 +247,102 @@ class TestSweep:
         assert all(len(r.outcome.attempts) == 2 for r in result)
         gold = Session().run("ring-acc", cfg)
         assert result.outcome(seed=4).results == gold.results
+
+
+class TestSweepFallback:
+    def test_unpicklable_param_falls_back_to_serial(self):
+        """Regression: the picklability probe skipped cell params, so a
+        closure param reached the pool and killed it (BrokenProcessPool /
+        AttributeError) instead of falling back to in-process serial."""
+        bound = 9
+
+        def closure_param():
+            return bound
+
+        par = Session().sweep(
+            "param-driven", RunConfig(**CFG),
+            variants=(Variant.FULL,), params=[closure_param, 5],
+            parallel=True,
+        )
+        ser = Session().sweep(
+            "param-driven", RunConfig(**CFG),
+            variants=(Variant.FULL,), params=[closure_param, 5],
+            parallel=False,
+        )
+        assert len(par) == 2
+        for a, b in zip(par, ser):
+            assert a.outcome.results == b.outcome.results
+
+    def test_unpicklable_grid_value_falls_back(self):
+        """Grid values ride RunConfig replacements; an unpicklable one
+        (an instance of a locally-defined class) must also divert the
+        sweep to the serial path, not crash it."""
+        from repro.simmpi.clock import CostModel
+
+        class LocalCost(CostModel):
+            """Local subclass: instances cannot be pickled."""
+
+        result = Session().sweep(
+            "ring-acc", RunConfig(**CFG),
+            variants=(Variant.UNMODIFIED, Variant.FULL),
+            grid={"cost_model": (LocalCost(),)},
+            parallel=True,
+        )
+        assert len(result) == 2
+        assert all(r.outcome.results for r in result)
+
+    def test_session_map_parallel_matches_serial(self):
+        session = Session()
+        payloads = list(range(8))
+        par = session.map(_square_for_map, payloads, parallel=True)
+        ser = session.map(_square_for_map, payloads, parallel=False)
+        assert par == ser == [p * p for p in payloads]
+
+    def test_session_map_closure_falls_back(self):
+        k = 3
+        out = Session().map(lambda p: p + k, [1, 2, 3], parallel=True)
+        assert out == [4, 5, 6]
+
+
+def _square_for_map(p):
+    return p * p
+
+
+class TestVariantStrings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Session().sweep(
+            "ring-acc", RunConfig(**CFG),
+            variants=(Variant.FULL, Variant.NO_APP_STATE), seeds=(1, 2),
+        )
+
+    def test_select_accepts_value_spelling(self, result):
+        assert result.select(variant="full") == result.select(
+            variant=Variant.FULL
+        )
+        assert len(result.select(variant="no-app-state")) == 2
+
+    def test_select_accepts_member_name_spelling(self, result):
+        assert result.select(variant="NO_APP_STATE") == result.select(
+            variant=Variant.NO_APP_STATE
+        )
+
+    def test_outcome_accepts_string(self, result):
+        by_string = result.outcome(variant="full", seed=1)
+        by_enum = result.outcome(variant=Variant.FULL, seed=1)
+        assert by_string is by_enum
+
+    def test_unknown_variant_string_rejected(self, result):
+        with pytest.raises(ConfigError, match="unknown variant"):
+            result.select(variant="fullest")
+
+    def test_sweep_variants_axis_accepts_strings(self):
+        swept = Session().sweep(
+            "ring-acc", RunConfig(**CFG), variants=("piggyback", "full")
+        )
+        assert [r.cell.variant for r in swept] == [
+            Variant.PIGGYBACK, Variant.FULL,
+        ]
 
 
 class TestRunVariantSuiteSatellites:

@@ -1,0 +1,31 @@
+"""Pinned regression schedules: the bugs the chaos campaigns surfaced.
+
+Every scenario here failed an invariant on the code as it stood before
+this harness existed (see ``repro.chaos.regressions`` for the bug
+descriptions).  They must now pass all three invariants, forever.
+"""
+
+import pytest
+
+from repro.chaos.campaign import check_scenario
+from repro.chaos.regressions import REGRESSION_SCENARIOS, run_regressions
+
+
+@pytest.mark.parametrize("name", sorted(REGRESSION_SCENARIOS))
+def test_pinned_schedule_passes(name):
+    verdict = check_scenario(REGRESSION_SCENARIOS[name])
+    assert verdict.ok, (
+        f"{name}: {REGRESSION_SCENARIOS[name].describe()}\n"
+        + "\n".join(verdict.violations)
+    )
+
+
+def test_regression_runner_covers_all_pins():
+    verdicts = run_regressions()
+    assert len(verdicts) == len(REGRESSION_SCENARIOS)
+    assert all(v.ok for v in verdicts)
+    # Every pin injects at least one fault that actually fires.
+    for verdict in verdicts:
+        assert verdict.kills_fired + verdict.crashes_fired >= 1, (
+            verdict.scenario.name
+        )

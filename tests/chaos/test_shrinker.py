@@ -1,0 +1,80 @@
+"""Shrinker: minimises failing schedules, bounded, never loses the failure."""
+
+from dataclasses import dataclass
+
+from repro.chaos.scenario import ChaosScenario, CrashSpec, KillSpec
+from repro.chaos.shrink import shrink_scenario
+
+
+@dataclass
+class FakeVerdict:
+    ok: bool
+
+
+def scenario(**kw):
+    base = dict(
+        name="big", kind="multi_kill", app="laplace", variant="full",
+        seed=1, nprocs=4,
+        kills=(
+            KillSpec(frac=0.2, rank=0),
+            KillSpec(frac=0.4, rank=2, attempt=1),
+            KillSpec(frac=0.6, rank=3, offset=0.01),
+        ),
+        crashes=(CrashSpec(rank=1, epoch=2, after_chunks=2),),
+        overrides=(("detector_timeout", 0.02),),
+    )
+    base.update(kw)
+    return ChaosScenario(**base)
+
+
+class TestShrink:
+    def test_minimises_to_essential_kill(self):
+        """Failure depends only on the rank-2 kill: everything else drops."""
+
+        def check(s):
+            return FakeVerdict(ok=not any(k.rank == 2 for k in s.kills))
+
+        small = shrink_scenario(scenario(), check)
+        assert len(small.kills) == 1 and small.kills[0].rank == 2
+        assert small.crashes == ()
+        assert small.name == "big-shrunk"
+        # Simplification passes also ran: the surviving kill is unpinned.
+        assert small.kills[0].attempt is None
+
+    def test_minimises_to_essential_crash(self):
+        def check(s):
+            return FakeVerdict(ok=not s.crashes)
+
+        small = shrink_scenario(scenario(), check)
+        assert small.kills == ()
+        assert len(small.crashes) == 1
+        assert small.crashes[0].after_chunks == 0  # simplified torn point
+
+    def test_unshrinkable_failure_returned_unchanged(self):
+        """Failure needs the schedule exactly as-is: the original comes
+        back, name untouched."""
+        big = scenario()
+
+        def check(s):
+            return FakeVerdict(ok=s != big)
+
+        small = shrink_scenario(big, check)
+        assert small == big
+        assert small.name == "big"
+
+    def test_check_budget_respected(self):
+        calls = []
+
+        def check(s):
+            calls.append(s)
+            return FakeVerdict(ok=False)  # everything "fails": shrink greedily
+
+        shrink_scenario(scenario(), check, max_checks=5)
+        assert len(calls) <= 5
+
+    def test_overrides_never_touched(self):
+        def check(s):
+            return FakeVerdict(ok=False)
+
+        small = shrink_scenario(scenario(), check)
+        assert small.overrides == scenario().overrides

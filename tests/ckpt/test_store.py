@@ -158,6 +158,36 @@ class TestTwoPhaseCommit:
         assert store.sweep_orphans() >= 1
         assert store.load("s", 1) == "good"
 
+    def test_rewriting_a_generation_reclaims_replaced_chunks(self):
+        """Regression (chaos campaign): a recovery attempt that re-takes an
+        uncommitted epoch's checkpoint republishes the same (stream,
+        generation); the replaced manifest's chunks used to become
+        permanent orphans."""
+        store = make_store(chunk_size=256)
+        store.save("s", 1, {"v": np.arange(512.0)})
+        store.save("s", 1, {"v": np.arange(512.0) + 1})  # rewrite, new bytes
+        assert store.load("s", 1)["v"][0] == 1.0
+        assert store.sweep_orphans() == 0
+
+    def test_rewrite_keeps_chunks_shared_with_other_generations(self):
+        store = make_store(chunk_size=256)
+        payload = {"v": np.arange(512.0)}
+        store.save("s", 1, payload)
+        store.save("s", 2, payload)        # dedups against generation 1
+        store.save("s", 1, {"v": np.arange(512.0) + 9})
+        # Generation 2 still references the original chunks; the rewrite
+        # must not reclaim them out from under it.
+        assert store.validate_generation("s", 2)
+        assert store.load("s", 2)["v"][3] == 3.0
+        assert store.sweep_orphans() == 0
+
+    def test_rewrite_bumps_mutation_stamp(self):
+        store = make_store()
+        store.save("s", 1, "old")
+        before = store.mutations
+        store.save("s", 1, "new")
+        assert store.mutations > before
+
     def test_corrupt_manifest_is_rejected(self):
         store = make_store()
         store.save("s", 1, "data")

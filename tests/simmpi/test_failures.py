@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.simmpi import (
     SUM,
+    CheckpointCrash,
     FailureSchedule,
     HeartbeatFailureDetector,
     KillEvent,
@@ -49,6 +50,72 @@ class TestFailureSchedule:
     def test_shifted(self):
         sched = FailureSchedule([KillEvent(0.5, 2)]).shifted(-0.2)
         assert sched.next_time() == pytest.approx(0.3)
+
+    def test_shifted_preserves_checkpoint_crashes(self):
+        """Regression: shifted() used to silently drop the mid-checkpoint
+        crash family (crashes are epoch-indexed; a time shift must carry
+        them over unchanged)."""
+        sched = FailureSchedule(
+            [KillEvent(0.5, 2)],
+            checkpoint_crashes=[CheckpointCrash(rank=1, epoch=2)],
+        ).shifted(0.1)
+        assert sched.remaining_checkpoint_crashes() == (
+            CheckpointCrash(rank=1, epoch=2),
+        )
+        assert sched.take_checkpoint_crash(1, 2) is not None
+
+    def test_shifted_preserves_attempt_pins(self):
+        sched = FailureSchedule([KillEvent(0.5, 2, attempt=1)]).shifted(0.1)
+        assert sched.remaining() == [KillEvent(0.6, 2, attempt=1)]
+
+    def test_reset_replays_consumed_checkpoint_crashes(self):
+        """Regression: reset() promised a full rewind but only moved the
+        kill cursor — a consumed crash was gone for good."""
+        sched = FailureSchedule(
+            [KillEvent(0.1, 0)],
+            checkpoint_crashes=[CheckpointCrash(rank=1, epoch=2)],
+        )
+        assert sched.take_checkpoint_crash(1, 2) is not None
+        assert sched.take_checkpoint_crash(1, 2) is None  # fires once
+        sched.due(1.0)
+        sched.begin_attempt(3)
+        sched.reset()
+        assert sched.next_time() == 0.1
+        assert sched.current_attempt == 0
+        assert sched.take_checkpoint_crash(1, 2) is not None
+
+    def test_attempt_pinned_events_gated(self):
+        sched = FailureSchedule(
+            [KillEvent(0.1, 0), KillEvent(0.2, 1, attempt=2)]
+        )
+        # Attempt 0: only the unpinned event is visible and consumable.
+        assert sched.next_time() == 0.1
+        assert [e.rank for e in sched.due(5.0)] == [0]
+        assert sched.next_time() is None
+        # Attempt 2: the pinned event becomes eligible.
+        sched.begin_attempt(2)
+        assert sched.next_time() == 0.2
+        assert [e.rank for e in sched.due(5.0)] == [1]
+
+    def test_consumed_and_fired_accounting(self):
+        sched = FailureSchedule(
+            [KillEvent(0.1, 0)],
+            checkpoint_crashes=[CheckpointCrash(rank=1, epoch=1)],
+        )
+        assert sched.consumed_events() == ()
+        sched.due(1.0)
+        assert sched.consumed_events() == (KillEvent(0.1, 0),)
+        assert sched.fired_checkpoint_crashes() == ()
+        sched.take_checkpoint_crash(1, 1)
+        assert sched.fired_checkpoint_crashes() == (
+            CheckpointCrash(rank=1, epoch=1),
+        )
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigError):
+            KillEvent(0.1, 0, attempt=-1)
+        with pytest.raises(ConfigError):
+            FailureSchedule().begin_attempt(-1)
 
 
 class TestHeartbeatDetector:
