@@ -1,0 +1,81 @@
+"""Experiment FARM: cached campaign execution — cold versus warm.
+
+The farm's contract, measured: a warm rerun of an unchanged sweep serves
+every cell from the content-addressed cache (zero simulator executions)
+and is bit-identical to the cold run.  Assertions carry the correctness
+claims so CI can run this file with ``--benchmark-disable`` as a smoke
+gate; timings quantify the cache's advantage (a hit costs one blob read +
+unpickle, a miss costs a whole deterministic simulation).
+"""
+
+import pickle
+
+from repro.api.session import Session
+from repro.farm import BenchRecorder, Farm
+from repro.runtime.config import RunConfig
+
+
+def _sweep(session, farm):
+    return session.sweep(
+        "laplace",
+        RunConfig(nprocs=3),
+        seeds=[0, 1],
+        parallel=False,
+        farm=farm,
+    )
+
+
+def test_warm_sweep_full_cache_hits(tmp_path):
+    session = Session()
+    cold_farm = Farm(str(tmp_path / "farm"))
+    cold = _sweep(session, cold_farm)
+    assert cold_farm.last_stats.executed == len(cold)
+
+    warm_farm = Farm(str(tmp_path / "farm"))
+    warm = _sweep(session, warm_farm)
+    stats = warm_farm.last_stats
+    assert stats.executed == 0
+    assert stats.hit_rate == 1.0
+    for a, b in zip(cold.rows, warm.rows):
+        assert pickle.dumps(a.outcome.results) == pickle.dumps(b.outcome.results)
+    # The trajectory record CI publishes (wall-clock lives only here).
+    entry = BenchRecorder(str(tmp_path / "BENCH_5.json")).record(
+        "bench_farm-warm", stats,
+        virtual_time=sum(r.outcome.total_virtual_time for r in warm),
+    )
+    assert entry["cache_hits"] == len(warm)
+
+
+def test_cold_sweep_timing(benchmark, tmp_path):
+    benchmark.group = "farm"
+    session = Session()
+    counter = iter(range(1_000_000))
+
+    def cold():
+        # A fresh subdirectory per round: every cell is a miss.
+        return _sweep(session, Farm(str(tmp_path / f"cold{next(counter)}")))
+
+    result = benchmark.pedantic(cold, rounds=1, iterations=1)
+    assert len(result) == 8
+
+
+def test_warm_sweep_timing(benchmark, tmp_path):
+    benchmark.group = "farm"
+    session = Session()
+    path = str(tmp_path / "farm")
+    _sweep(session, Farm(path))  # prime the cache
+
+    warm = benchmark(lambda: _sweep(session, Farm(path)))
+    assert warm.farm_stats.hit_rate == 1.0
+
+
+def test_cache_hit_cost(benchmark, tmp_path):
+    """One hit = one blob read + unpickle; the farm's steady-state cost."""
+    benchmark.group = "farm-hit"
+    farm = Farm(str(tmp_path / "farm"))
+    session = Session()
+    _sweep(session, farm)
+    key = next(iter(farm.cache.keys()))
+
+    outcome = benchmark(farm.cache.get, key)
+    assert outcome.results

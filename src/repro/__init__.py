@@ -40,6 +40,10 @@ Subpackages
     The paper's three benchmark applications (dense CG, Laplace, Neurosys).
 ``repro.bench``
     The four-variant overhead harness that regenerates Figure 8.
+``repro.farm``
+    Cached, resumable campaign execution: content-addressed result cache
+    + durable job queue under ``Session.sweep`` and chaos campaigns
+    (``repro-farm run | status | gc``).
 """
 
 import warnings

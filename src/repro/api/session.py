@@ -28,7 +28,17 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
 
 from repro.api.registry import AppMain, AppSpec, _FunctionApp, get_app, rehydrate
 from repro.errors import ConfigError
@@ -37,6 +47,9 @@ from repro.runtime.driver import RunOutcome, run_with_recovery
 from repro.simmpi.clock import CostModel
 from repro.simmpi.failures import FailureSchedule
 from repro.statesave.storage import Storage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.farm.engine import Farm
 
 #: The four build variants of Section 6.2, in Figure-8 order.
 ALL_VARIANTS = (
@@ -118,6 +131,9 @@ class SweepResult:
 
     def __init__(self, rows: list[RunRow]) -> None:
         self.rows = rows
+        #: Cache/queue accounting when the sweep ran through a farm
+        #: (:class:`repro.farm.FarmStats`); None for direct execution.
+        self.farm_stats = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -191,6 +207,24 @@ def _build_app(app_ref: tuple, params: Any) -> AppMain:
     if params is None:
         return fn
     return _FunctionApp(fn, params)
+
+
+def _cell_cacheable(payload: tuple) -> bool:
+    """Farm-cache eligibility of one sweep cell.
+
+    Only cells with per-run in-memory storage (the ``("config", None)``
+    spec) are cached: cells persisting checkpoints to their own directory
+    — or building storage through a user factory — have side effects a
+    cache hit would silently skip."""
+    return payload[4][0] == "config"
+
+
+def _cell_label(payload: tuple) -> str:
+    cell = payload[1]
+    return (
+        f"{cell.app}/{cell.variant.value} seed={cell.seed} np={cell.nprocs}"
+        + (f" params={cell.params!r}" if cell.params is not None else "")
+    )
 
 
 def _execute_cell(payload: tuple) -> RunOutcome:
@@ -328,6 +362,7 @@ class Session:
         storage_factory: Optional[Callable[[], Storage]] = None,
         parallel: bool = True,
         max_workers: Optional[int] = None,
+        farm: Optional["Farm"] = None,
     ) -> SweepResult:
         """Run the cross product of the requested axes.
 
@@ -338,6 +373,13 @@ class Session:
         When a cell's config names a ``storage_path`` (and no explicit
         ``storage_factory`` overrides it), the cell persists to a unique
         subdirectory of that path.
+
+        ``farm`` routes execution through a :class:`repro.farm.Farm`:
+        cells whose fingerprint is already cached are returned without
+        running a simulator (bit-identical outcomes), the rest become
+        durable, resumable jobs.  Cells that persist checkpoints
+        externally (``storage_path`` or a factory) run uncached.  The
+        returned :class:`SweepResult` carries ``farm_stats``.
         """
         base_config = base_config if base_config is not None else RunConfig(nprocs=4)
         base_config = self._apply_defaults(base_config)
@@ -403,10 +445,25 @@ class Session:
             payloads.append((app_ref, cell, cfg, failure_spec, storage_spec))
             cells.append(cell)
 
-        outcomes = self._execute(payloads, parallel, max_workers)
-        return SweepResult(
+        if farm is not None:
+            outcomes = farm.map(
+                _execute_cell,
+                payloads,
+                parallel=parallel,
+                # The farm executes through its own Session; honour this
+                # session's fan-out width when the call does not name one.
+                max_workers=max_workers or self.max_workers,
+                cacheable=_cell_cacheable,
+                labels=_cell_label,
+            )
+        else:
+            outcomes = self._execute(payloads, parallel, max_workers)
+        result = SweepResult(
             [RunRow(cell=c, outcome=o) for c, o in zip(cells, outcomes)]
         )
+        if farm is not None:
+            result.farm_stats = farm.last_stats
+        return result
 
     # ------------------------------------------------------------------ #
 

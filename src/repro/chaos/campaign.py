@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.api.registry import get_app
 from repro.api.session import Session
@@ -36,6 +36,9 @@ from repro.chaos.scenario import DEFAULT_VARIANTS, ChaosScenario
 from repro.runtime.config import RunConfig
 from repro.runtime.driver import run_with_recovery
 from repro.statesave.storage import Storage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.farm.engine import Farm
 
 #: Scaled workload points the campaign runs by default — small enough that
 #: a ~200-scenario campaign (baseline + run + deterministic rerun each)
@@ -276,10 +279,32 @@ def run_campaign(
     session: Optional[Session] = None,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    farm: Optional["Farm"] = None,
 ) -> CampaignReport:
-    """Generate, baseline, execute and verify a whole campaign."""
+    """Generate, baseline, execute and verify a whole campaign.
+
+    With a ``farm``, baselines and scenario verdicts are served from the
+    content-addressed result cache when their cells are unchanged (same
+    scenario, config, params, code version) and executed as durable,
+    resumable jobs otherwise — a warm rerun of an identical campaign
+    executes zero simulator cells and reproduces the report bit-for-bit
+    (modulo ``wall_seconds``, which is excluded from fingerprints).
+    """
     config = config if config is not None else CampaignConfig()
     session = session if session is not None else Session(max_workers=max_workers)
+
+    def fan_out(fn, payloads, labels):
+        if farm is not None:
+            return farm.map(
+                fn, payloads,
+                parallel=parallel,
+                # The farm runs through its own Session; keep the caller's
+                # configured pool width when the call does not name one.
+                max_workers=max_workers or session.max_workers,
+                labels=labels,
+            )
+        return session.map(fn, payloads, parallel=parallel, max_workers=max_workers)
+
     wall_start = time.perf_counter()
     scenarios = generate_campaign(
         config.master_seed,
@@ -304,9 +329,10 @@ def run_campaign(
     probes = dict(
         zip(
             payload_by_cell,
-            session.map(
+            fan_out(
                 _baseline_job, list(payload_by_cell.values()),
-                parallel=parallel, max_workers=max_workers,
+                labels=lambda p: f"baseline {p[0]}/{p[1].variant.value} "
+                                 f"seed={p[1].seed} np={p[1].nprocs}",
             ),
         )
     )
@@ -314,8 +340,8 @@ def run_campaign(
     payloads = [
         scenario_payload(s, config, probes[s.cell_key()]) for s in scenarios
     ]
-    verdicts = session.map(
-        _scenario_job, payloads, parallel=parallel, max_workers=max_workers
+    verdicts = fan_out(
+        _scenario_job, payloads, labels=lambda p: p[0].name
     )
 
     if config.shrink_failures:

@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--regressions", action="store_true",
         help="run the pinned regression schedules instead of a generated campaign",
     )
+    parser.add_argument(
+        "--farm-dir", default=None, metavar="DIR",
+        help="execute through a repro.farm cache at DIR: unchanged cells "
+             "are served from the cache, the rest become resumable jobs",
+    )
     return parser
 
 
@@ -96,11 +101,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         shrink_failures=not args.no_shrink,
     )
+    farm = None
+    if args.farm_dir is not None:
+        from repro.farm.engine import Farm
+
+        farm = Farm(args.farm_dir)
     report = run_campaign(
-        config, parallel=not args.serial, max_workers=args.max_workers
+        config, parallel=not args.serial, max_workers=args.max_workers, farm=farm
     )
     print(report.summary())
     print(f"wall time: {report.wall_seconds:.1f}s")
+    if farm is not None:
+        stats = farm.total_stats
+        print(
+            f"farm: {stats.hits} cache hits / {stats.cells} cells "
+            f"({stats.hit_rate:.1%}), {stats.executed} executed"
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())

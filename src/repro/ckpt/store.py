@@ -31,7 +31,6 @@ codec never disturbs content addressing.
 from __future__ import annotations
 
 import pickle
-import time
 from dataclasses import replace
 from typing import Any, Callable, Optional
 
@@ -118,12 +117,19 @@ class CheckpointStore:
         generation: int,
         obj: Any,
         progress: Optional[ProgressHook] = None,
+        created_at: Optional[float] = None,
     ) -> GenerationManifest:
         """Write ``obj`` as ``stream``'s generation ``generation``.
 
         The ``progress`` hook fires before each chunk is processed and once
         more just before the manifest is published; raising from it models
         a crash mid-write (some chunks persisted, manifest never published).
+
+        ``created_at`` stamps the manifest; callers pass *virtual* time (or
+        any deterministic value).  The store never reads the host clock:
+        wall-clock timestamps baked into persisted bytes would make two
+        otherwise-identical runs produce different backends, poisoning
+        byte-level rerun determinism and content-addressed result caches.
         """
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         # Overwrite awareness: a recovery attempt that re-takes an epoch's
@@ -163,7 +169,7 @@ class CheckpointStore:
             chunk_size=self.chunk_size,
             payload_length=len(payload),
             chunks=tuple(refs),
-            created_at=time.time(),
+            created_at=created_at if created_at is not None else 0.0,
             stored_bytes=stats.bytes_stored,
             reused_chunks=stats.chunks_reused,
         ).sealed()

@@ -98,3 +98,20 @@ class UnsupportedConstructError(PrecompilerError):
 
 class HeapError(ReproError):
     """Managed heap misuse (double free, foreign pointer...)."""
+
+
+class FarmError(ReproError):
+    """Campaign-execution engine failure (cache, job queue, or cell)."""
+
+
+class FarmJobError(FarmError):
+    """One or more farm cells failed permanently (attempts exhausted)."""
+
+    def __init__(self, failures: list[tuple[str, str]]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} farm cell(s) failed:"]
+        for key, error in self.failures[:5]:
+            lines.append(f"  {key[:12]}…: {error}")
+        if len(self.failures) > 5:
+            lines.append(f"  … and {len(self.failures) - 5} more")
+        super().__init__("\n".join(lines))

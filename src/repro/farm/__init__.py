@@ -1,0 +1,31 @@
+"""``repro.farm`` — cached, resumable campaign execution.
+
+The execution layer under :meth:`repro.Session.sweep`, chaos campaigns
+and the benchmark harness:
+
+* :class:`Farm` — content-addressed result cache + durable job queue over
+  a :mod:`repro.ckpt` backend; ``Farm.map`` is ``Session.map`` with
+  caching and resume.
+* :class:`FarmStats` — per-call cache/queue accounting.
+* :class:`BenchRecorder` — stamps campaign wall/virtual-time and
+  cache-hit stats into the ``BENCH_5.json`` perf trajectory.
+* CLI — ``repro-farm run | status | gc`` (also ``python -m repro.farm``).
+"""
+
+from repro.farm.bench import DEFAULT_BENCH_PATH, BenchRecorder
+from repro.farm.cache import ResultCache
+from repro.farm.engine import Farm, FarmStats
+from repro.farm.fingerprint import code_salt, fingerprint
+from repro.farm.jobs import JobQueue, JobRecord
+
+__all__ = [
+    "Farm",
+    "FarmStats",
+    "ResultCache",
+    "JobQueue",
+    "JobRecord",
+    "BenchRecorder",
+    "DEFAULT_BENCH_PATH",
+    "code_salt",
+    "fingerprint",
+]

@@ -1,0 +1,71 @@
+"""The bench-trajectory recorder.
+
+Every farm campaign stamps one record — wall seconds, total virtual time,
+cache-hit accounting — into a JSON trajectory file (``BENCH_5.json`` by
+convention: the perf baseline this PR series measures itself against).
+The file accumulates: cold runs and warm runs land as successive records,
+so a trajectory with a cold/warm pair directly exhibits the cache's
+speedup and CI can diff hit counts across pushes.
+
+Wall-clock readings live *only* here, never inside cached bytes — the
+trajectory is observability, excluded from every determinism comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Optional
+
+from repro.farm.engine import FarmStats
+from repro.util.serialization import atomic_write_bytes
+
+#: Conventional trajectory path for this PR series.
+DEFAULT_BENCH_PATH = "BENCH_5.json"
+
+
+class BenchRecorder:
+    """Appends per-campaign records to a JSON trajectory file."""
+
+    def __init__(self, path: str = DEFAULT_BENCH_PATH) -> None:
+        self.path = path
+
+    def load(self) -> dict:
+        if not os.path.exists(self.path):
+            return {"bench": "repro.farm", "records": []}
+        with open(self.path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc.setdefault("records", [])
+        return doc
+
+    def record(
+        self,
+        label: str,
+        stats: FarmStats,
+        *,
+        virtual_time: Optional[float] = None,
+        extra: Optional[dict[str, Any]] = None,
+    ) -> dict:
+        """Append one campaign record and rewrite the trajectory atomically."""
+        doc = self.load()
+        entry: dict[str, Any] = {
+            "label": label,
+            "timestamp": time.time(),
+            "wall_seconds": stats.wall_seconds,
+            "cells": stats.cells,
+            "cache_hits": stats.hits,
+            "cache_misses": stats.misses,
+            "executed": stats.executed,
+            "uncached": stats.uncached,
+            "hit_rate": stats.hit_rate,
+        }
+        if virtual_time is not None:
+            entry["virtual_time"] = virtual_time
+        if extra:
+            entry.update(extra)
+        doc["records"].append(entry)
+        atomic_write_bytes(
+            self.path, json.dumps(doc, indent=2, sort_keys=True).encode("utf-8")
+        )
+        return entry

@@ -1,0 +1,203 @@
+"""``repro-farm`` — drive campaigns through the cached execution engine.
+
+Examples::
+
+    # A chaos campaign through the farm; the second invocation is ~all
+    # cache hits and executes zero simulator cells.
+    repro-farm run --dir .farm --mode chaos --seed 7 --count 50 \\
+        --out chaos-report.json --bench-out BENCH_5.json
+
+    # The CI farm-smoke recipe: sweep twice, require a warm cache.
+    repro-farm run --dir .farm --mode sweep --apps laplace --seeds 3
+    repro-farm run --dir .farm --mode sweep --apps laplace --seeds 3 \\
+        --expect-hit-rate 0.9
+
+    # What is in the farm directory?
+    repro-farm status --dir .farm
+
+    # Reclaim entries stranded by code changes.
+    repro-farm gc --dir .farm
+
+Exit status: 0 on success, 1 when scenarios failed or ``--expect-hit-rate``
+was missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.farm.bench import DEFAULT_BENCH_PATH, BenchRecorder
+from repro.farm.engine import Farm
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-farm",
+        description="Cached, resumable campaign execution over the C3 simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign through the farm")
+    run.add_argument("--dir", default=".farm", help="farm directory (cache + jobs)")
+    run.add_argument(
+        "--mode", choices=("chaos", "sweep"), default="chaos",
+        help="campaign family: a chaos campaign or a variant sweep",
+    )
+    run.add_argument("--seed", type=int, default=7, help="campaign master seed")
+    run.add_argument("--count", type=int, default=50, help="chaos scenario count")
+    run.add_argument(
+        "--apps", default="laplace,dense_cg",
+        help="comma-separated registered app names",
+    )
+    run.add_argument(
+        "--kinds", default=None,
+        help="chaos: comma-separated scenario families to restrict to",
+    )
+    run.add_argument(
+        "--seeds", type=int, default=2,
+        help="sweep: number of seeds per app (seed, seed+1, …)",
+    )
+    run.add_argument("--nprocs", type=int, default=4, help="sweep: world size")
+    run.add_argument("--codec", default="none", help="cache blob codec (none/zlib/lzma)")
+    run.add_argument("--out", default=None, help="write the JSON campaign report here")
+    run.add_argument(
+        "--bench-out", default=None,
+        help=f"append a bench-trajectory record here (e.g. {DEFAULT_BENCH_PATH})",
+    )
+    run.add_argument(
+        "--label", default=None, help="bench-trajectory record label"
+    )
+    run.add_argument(
+        "--expect-hit-rate", type=float, default=None,
+        help="fail unless the run's cache-hit rate reaches this fraction",
+    )
+    run.add_argument("--serial", action="store_true", help="run in-process")
+    run.add_argument("--max-workers", type=int, default=None, help="pool width")
+
+    status = sub.add_parser("status", help="job and cache accounting")
+    status.add_argument("--dir", default=".farm")
+
+    gc = sub.add_parser("gc", help="drop stale-salt entries and orphan results")
+    gc.add_argument("--dir", default=".farm")
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+
+
+def _run_chaos(args, farm: Farm) -> tuple[int, float, dict]:
+    from repro.chaos.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        master_seed=args.seed,
+        count=args.count,
+        apps=tuple(a for a in args.apps.split(",") if a),
+        kinds=(
+            tuple(k for k in args.kinds.split(",") if k)
+            if args.kinds is not None
+            else None
+        ),
+    )
+    report = run_campaign(
+        config,
+        parallel=not args.serial,
+        max_workers=args.max_workers,
+        farm=farm,
+    )
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.out}")
+    virtual = sum(v.virtual_time for v in report.verdicts)
+    extra = {
+        "mode": "chaos",
+        "passed": report.passed,
+        "failed": len(report.failures),
+    }
+    return (1 if report.failures else 0), virtual, extra
+
+
+def _run_sweep(args, farm: Farm) -> tuple[int, float, dict]:
+    from repro.api.session import Session
+    from repro.runtime.config import RunConfig
+
+    session = Session(max_workers=args.max_workers)
+    apps = [a for a in args.apps.split(",") if a]
+    total_virtual = 0.0
+    rows = 0
+    for app in apps:
+        result = session.sweep(
+            app,
+            RunConfig(nprocs=args.nprocs),
+            seeds=range(args.seed, args.seed + args.seeds),
+            parallel=not args.serial,
+            max_workers=args.max_workers,
+            farm=farm,
+        )
+        rows += len(result)
+        total_virtual += sum(r.outcome.total_virtual_time for r in result)
+    print(f"sweep: {rows} cells over {len(apps)} app(s)")
+    return 0, total_virtual, {"mode": "sweep", "cells": rows}
+
+
+def _print_stats(farm: Farm) -> None:
+    stats = farm.total_stats
+    print(
+        f"farm: {stats.cells} cells — {stats.hits} hits, "
+        f"{stats.executed} executed, {stats.uncached} uncached "
+        f"(hit rate {stats.hit_rate:.1%}, {stats.wall_seconds:.1f}s)"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command in ("status", "gc") and not os.path.isdir(args.dir):
+        # Read-only subcommands must not conjure an empty farm out of a
+        # typo'd path and report it as "no jobs".
+        print(f"no farm directory at {args.dir!r}", file=sys.stderr)
+        return 2
+    if args.command == "status":
+        print(json.dumps(Farm(args.dir).status(), indent=2))
+        return 0
+    if args.command == "gc":
+        swept = Farm(args.dir).gc()
+        print(
+            f"gc: removed {swept['stale_jobs']} stale job(s), "
+            f"{swept['failed_jobs']} failed job(s), "
+            f"{swept['orphan_results']} orphan result(s)"
+        )
+        return 0
+
+    farm = Farm(args.dir, codec=args.codec)
+    runner = _run_chaos if args.mode == "chaos" else _run_sweep
+    code, virtual_time, extra = runner(args, farm)
+    _print_stats(farm)
+
+    if args.bench_out:
+        label = args.label or f"{args.mode}-seed{args.seed}"
+        entry = BenchRecorder(args.bench_out).record(
+            label, farm.total_stats, virtual_time=virtual_time, extra=extra
+        )
+        print(f"bench record appended to {args.bench_out}: {json.dumps(entry)}")
+
+    if args.expect_hit_rate is not None:
+        rate = farm.total_stats.hit_rate
+        if rate < args.expect_hit_rate:
+            print(
+                f"cache hit rate {rate:.1%} below required "
+                f"{args.expect_hit_rate:.1%}", file=sys.stderr,
+            )
+            return 1
+        print(f"cache hit rate {rate:.1%} >= required {args.expect_hit_rate:.1%}")
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Durable job records: the resumable half of the farm.
+
+Every cache miss becomes a :class:`JobRecord` persisted *next to* its
+future result (``jobs/<k0k1>/<key>``), moving through::
+
+    pending -> running -> done
+                       -> failed     (attempt counts accumulate)
+
+Records are small JSON documents — human-readable with ``cat``, which is
+deliberate: ``repro-farm status`` is just a fold over them.  An
+interrupted campaign leaves its in-flight cells ``running``; since the
+farm has a single orchestrating process per directory, any ``running``
+record found at claim time is stale by construction and is reclaimed
+(its attempt count survives, so a cell that keeps dying mid-flight is
+eventually reported instead of retried forever).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterator, Optional
+
+from repro.ckpt.backends import Backend
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+STATUSES = (PENDING, RUNNING, DONE, FAILED)
+
+
+@dataclass
+class JobRecord:
+    """One durable cell: identity, lifecycle state, attempt accounting."""
+
+    key: str
+    fn: str
+    label: str = ""
+    status: str = PENDING
+    attempts: int = 0
+    #: Code-version salt the key was minted under (lets gc drop records
+    #: stranded by code changes without re-deriving any fingerprint).
+    salt: str = ""
+    error: Optional[str] = None
+    #: Worker-side formatted traceback of the last failure (post-mortems).
+    trace: Optional[str] = None
+
+    def to_json(self) -> bytes:
+        return json.dumps(asdict(self), sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, blob: bytes) -> "JobRecord":
+        data = json.loads(blob.decode("utf-8"))
+        return cls(**{k: data.get(k) for k in cls.__dataclass_fields__})
+
+
+@dataclass
+class JobCounts:
+    """Aggregate view for ``repro-farm status``."""
+
+    pending: int = 0
+    running: int = 0
+    done: int = 0
+    failed: int = 0
+    other: int = 0
+    by_fn: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.running + self.done + self.failed + self.other
+
+
+class JobQueue:
+    """Job records over the farm's backend."""
+
+    def __init__(self, backend: Backend) -> None:
+        self.backend = backend
+
+    @staticmethod
+    def _job_key(key: str) -> str:
+        return f"jobs/{key[:2]}/{key}"
+
+    # ------------------------------------------------------------------ #
+
+    def load(self, key: str) -> Optional[JobRecord]:
+        stored = self._job_key(key)
+        if not self.backend.exists(stored):
+            return None
+        return JobRecord.from_json(self.backend.get(stored))
+
+    def save(self, record: JobRecord) -> None:
+        self.backend.put(self._job_key(record.key), record.to_json())
+
+    def delete(self, key: str) -> None:
+        self.backend.delete(self._job_key(key))
+
+    def records(self) -> Iterator[JobRecord]:
+        for stored in self.backend.keys("jobs/"):
+            yield JobRecord.from_json(self.backend.get(stored))
+
+    # ------------------------------------------------------------------ #
+
+    def claim(self, key: str, fn: str, label: str, salt: str) -> JobRecord:
+        """Mark the cell ``running`` and bump its attempt count.
+
+        A record already ``running`` belongs to an interrupted earlier
+        execution (one orchestrator per farm directory) and is reclaimed.
+        """
+        record = self.load(key)
+        if record is None:
+            record = JobRecord(key=key, fn=fn, label=label, salt=salt)
+        record.status = RUNNING
+        record.attempts += 1
+        record.error = None
+        self.save(record)
+        return record
+
+    def finish(
+        self,
+        record: JobRecord,
+        error: Optional[str] = None,
+        trace: Optional[str] = None,
+    ) -> None:
+        record.status = DONE if error is None else FAILED
+        record.error = error
+        record.trace = trace if error is not None else None
+        self.save(record)
+
+    def counts(self) -> JobCounts:
+        out = JobCounts()
+        for record in self.records():
+            if record.status in STATUSES:
+                setattr(out, record.status, getattr(out, record.status) + 1)
+            else:
+                out.other += 1
+            out.by_fn[record.fn] = out.by_fn.get(record.fn, 0) + 1
+        return out

@@ -112,8 +112,18 @@ class Network:
         self._dead.add(rank)
 
     def revive_all(self) -> None:
-        """Clear death records (used when the simulator restarts a job)."""
+        """Reset the network for reuse across simulated job attempts.
+
+        Clears death records *and* per-key delivery floors: a restarted
+        attempt replays traffic from scratch, and inheriting the previous
+        attempt's FIFO floors would push its first messages artificially
+        far into the future (and skew timing determinism against a fresh
+        network).  Note the recovery driver builds a fresh ``Simulator``
+        — and hence a fresh ``Network`` — per attempt, so this guards the
+        standalone reuse API, not the driver's restart path.
+        """
         self._dead.clear()
+        self._last_delivery.clear()
 
     # ------------------------------------------------------------------ #
 

@@ -142,6 +142,12 @@ class Scheduler:
         if not runnable:
             raise DeadlockError("pick() called with no runnable ranks")
         if len(runnable) == 1:
+            # The fast path must still advance the round-robin cursor: a
+            # solo slice is a real turn, and leaving the cursor behind the
+            # rank that just ran would skew the next multi-runnable pick
+            # back toward ranks that already had their turn.
+            if self.policy == "round_robin":
+                self._rr_cursor = runnable[0].rank + 1
             return runnable[0]
         if self.policy == "round_robin":
             ranks = sorted(p.rank for p in runnable)

@@ -212,6 +212,16 @@ class Simulator:
             proc = self.procs[event.rank]
             if proc.finished:
                 continue
+            if event.rank not in self._death_time and not self.detector.is_suspected(
+                event.rank
+            ):
+                # The victim heartbeated right up to its death.  Credit it
+                # now, *before* freezing its liveness: after a long
+                # advance_to jump its last refresh can be arbitrarily stale,
+                # and measuring silence from there would fire the detector
+                # the instant the kill lands (latency 0) instead of exactly
+                # one timeout after the death.
+                self.detector.heard_from(event.rank, self.clock.now)
             self._death_time.setdefault(event.rank, self.clock.now)
             self.scheduler.request_kill(proc)
 
@@ -240,7 +250,7 @@ class Simulator:
     def _next_detector_fire(self) -> Optional[float]:
         times = [
             self._death_time[r] + self.detector.timeout
-            for r, t in self._death_time.items()
+            for r in self._death_time
             if not self.detector.is_suspected(r)
         ]
         return min(times) if times else None
@@ -309,9 +319,13 @@ class Simulator:
                 if any(p.state is ProcState.DEAD for p in self.procs):
                     # Everybody else finished before the detector fired;
                     # jump time forward so the fault is still reported.
+                    # The 1e-12 floor matches the event-jump branch below:
+                    # with last_heard == death_time, float rounding can put
+                    # (death + timeout) - death just under timeout, and a
+                    # bare jump to the fire time would then spin forever.
                     fire = self._next_detector_fire()
                     if fire is not None:
-                        self.clock.advance_to(fire)
+                        self.clock.advance_to(max(fire, self.clock.now + 1e-12))
                         continue
                 break
 

@@ -27,7 +27,6 @@ selected per store; :meth:`Storage.from_config` reads them from the
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
@@ -52,6 +51,12 @@ class CommitRecord:
     ``nprocs`` lets :meth:`Storage.committed_epoch` validate the epoch's
     generations without outside help; ``None`` (a record written by code
     that did not know the world size) disables validation for that entry.
+
+    Both timestamps are *virtual* time.  Persisted bytes must never carry
+    host wall-clock readings: they would make two identical runs write
+    different commit records, breaking byte-level rerun determinism (and
+    the farm's content-addressed caching of run outcomes).  ``wall_time``
+    keeps its historical field name for on-disk compatibility.
     """
 
     epoch: int
@@ -143,8 +148,11 @@ class Storage:
             else None
         )
         stream = self._stream(rank, "state")
+        # Manifests are stamped with the checkpoint's *virtual* take time —
+        # never the host clock, which would break byte-identical reruns.
+        taken_at = float(getattr(data, "taken_at", 0.0))
         if crash is None:
-            return self.store.save(stream, epoch, data)
+            return self.store.save(stream, epoch, data, created_at=taken_at)
         return self._crashing_write(stream, rank, epoch, data, crash)
 
     def _crashing_write(
@@ -154,7 +162,7 @@ class Storage:
         a torn (unpublished) generation or a checksum-invalid manifest."""
         at_time = float(getattr(data, "taken_at", 0.0))
         if crash.corrupt_manifest:
-            self.store.save(stream, epoch, data)
+            self.store.save(stream, epoch, data, created_at=at_time)
             self.store.corrupt_manifest(stream, epoch)
             raise ProcessKilled(rank, at_time)
 
@@ -167,7 +175,7 @@ class Storage:
             if stage == STAGE_MANIFEST or index >= crash.after_chunks:
                 raise ProcessKilled(rank, at_time)
 
-        return self.store.save(stream, epoch, data, progress=progress)
+        return self.store.save(stream, epoch, data, progress=progress, created_at=at_time)
 
     def write_log(self, rank: int, epoch: int, logs: Any) -> GenerationManifest:
         self.writes += 1
@@ -250,7 +258,7 @@ class Storage:
             CommitRecord(
                 epoch=epoch,
                 committed_at=virtual_time,
-                wall_time=time.time(),
+                wall_time=virtual_time,
                 nprocs=nprocs,
             )
         )

@@ -101,3 +101,20 @@ class TestAcceptanceCampaign:
         assert apps == set(DEFAULT_PARAMS)
         variants = {v.scenario.variant for v in report.verdicts}
         assert variants == {"piggyback", "no-app-state", "full"}
+
+
+class TestCampaignCliThroughFarm:
+    def test_farm_dir_flag_caches_the_campaign(self, tmp_path, capsys):
+        from repro.chaos.cli import main as chaos_main
+
+        argv = [
+            "--seed", "13", "--count", "2", "--serial",
+            "--farm-dir", str(tmp_path / "farm"),
+        ]
+        assert chaos_main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert "farm: 0 cache hits" in cold_out
+        # Second invocation: every cell served from the cache.
+        assert chaos_main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert "(100.0%), 0 executed" in warm_out

@@ -1,0 +1,78 @@
+"""The repro-farm CLI: run / status / gc, bench trajectory, hit-rate gate."""
+
+import json
+
+import pytest
+
+from repro.farm.cli import main as farm_main
+
+
+def _run_sweep(tmp_path, *extra):
+    return farm_main(
+        [
+            "run", "--dir", str(tmp_path / "farm"),
+            "--mode", "sweep", "--apps", "laplace",
+            "--seeds", "1", "--nprocs", "2", "--serial",
+            *extra,
+        ]
+    )
+
+
+class TestRun:
+    def test_sweep_twice_warm_hits_and_bench_trajectory(self, tmp_path, capsys):
+        bench = str(tmp_path / "BENCH_5.json")
+        assert _run_sweep(tmp_path, "--bench-out", bench, "--label", "cold") == 0
+        assert (
+            _run_sweep(
+                tmp_path, "--bench-out", bench, "--label", "warm",
+                "--expect-hit-rate", "0.9",
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hit rate 100.0% >= required 90.0%" in out
+        doc = json.loads(open(bench).read())
+        cold, warm = doc["records"]
+        assert cold["label"] == "cold" and warm["label"] == "warm"
+        assert cold["cache_hits"] == 0 and cold["executed"] == warm["cells"]
+        assert warm["cache_hits"] == warm["cells"] and warm["executed"] == 0
+        assert warm["hit_rate"] == 1.0
+        assert warm["virtual_time"] == pytest.approx(cold["virtual_time"])
+        assert warm["wall_seconds"] < cold["wall_seconds"]
+
+    def test_cold_run_fails_hit_rate_gate(self, tmp_path, capsys):
+        assert _run_sweep(tmp_path, "--expect-hit-rate", "0.9") == 1
+        assert "below required" in capsys.readouterr().err
+
+    def test_chaos_mode_writes_report(self, tmp_path, capsys):
+        report = str(tmp_path / "report.json")
+        code = farm_main(
+            [
+                "run", "--dir", str(tmp_path / "farm"), "--mode", "chaos",
+                "--seed", "13", "--count", "2", "--serial", "--out", report,
+            ]
+        )
+        assert code == 0
+        doc = json.loads(open(report).read())
+        assert doc["passed"] == 2
+        assert "2/2 scenarios passed" in capsys.readouterr().out
+
+
+class TestStatusGc:
+    def test_status_and_gc(self, tmp_path, capsys):
+        _run_sweep(tmp_path)
+        capsys.readouterr()  # drain the sweep's own output
+        assert farm_main(["status", "--dir", str(tmp_path / "farm")]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["jobs"]["done"] == status["jobs"]["total"] > 0
+        assert status["cache"]["entries"] == status["jobs"]["done"]
+        assert farm_main(["gc", "--dir", str(tmp_path / "farm")]) == 0
+        assert "removed 0 stale job(s)" in capsys.readouterr().out
+
+    def test_missing_dir_is_an_error_not_a_fresh_farm(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such-farm")
+        assert farm_main(["status", "--dir", missing]) == 2
+        assert farm_main(["gc", "--dir", missing]) == 2
+        assert "no farm directory" in capsys.readouterr().err
+        import os
+        assert not os.path.exists(missing)  # nothing conjured by the typo

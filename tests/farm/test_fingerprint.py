@@ -1,0 +1,41 @@
+"""Cache-key fingerprints: stability, sensitivity, graceful refusal."""
+
+from repro.farm.fingerprint import code_salt, fingerprint, fn_identity
+
+
+def job_a(payload):
+    return payload
+
+
+def job_b(payload):
+    return payload
+
+
+class TestFingerprint:
+    def test_stable_for_equal_payloads(self):
+        assert fingerprint(job_a, (1, "x", 2.5)) == fingerprint(job_a, (1, "x", 2.5))
+
+    def test_sensitive_to_payload(self):
+        assert fingerprint(job_a, (1,)) != fingerprint(job_a, (2,))
+
+    def test_sensitive_to_function(self):
+        assert fingerprint(job_a, (1,)) != fingerprint(job_b, (1,))
+
+    def test_sensitive_to_salt(self):
+        assert fingerprint(job_a, (1,), salt="s1") != fingerprint(job_a, (1,), salt="s2")
+
+    def test_unpicklable_payload_returns_none(self):
+        assert fingerprint(job_a, (lambda: None,)) is None
+
+    def test_fn_identity_names_module_and_qualname(self):
+        ident = fn_identity(job_a)
+        assert ident.endswith(":job_a")
+        assert "test_fingerprint" in ident
+
+
+class TestCodeSalt:
+    def test_cached_and_hexadecimal(self):
+        salt = code_salt()
+        assert salt == code_salt()  # per-process cache
+        assert len(salt) == 64
+        int(salt, 16)
