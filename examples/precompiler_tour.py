@@ -59,6 +59,41 @@ class CheckpointingCtx:
         self.snapshots.append(pickle.dumps(self.runtime.capture()))
 
 
+def static_check_tour() -> None:
+    """A deliberately broken variant of the tour's unit, run through the
+    ``repro.check`` verifier.  The function is nested here on purpose:
+    module-level unit selection must never pick it up, so the file itself
+    stays clean under ``repro-check examples/precompiler_tour.py``."""
+    from repro.check import check_functions
+    from repro.errors import CheckError
+
+    def broken_loop(ctx, n):
+        import random
+
+        from repro.simmpi.op import SUM
+
+        total = 0.0
+        if ctx.rank == 0:
+            # Only rank 0 runs this collective: textbook deadlock.
+            total = ctx.mpi.allreduce(1.0, SUM)
+        for i in range(n):
+            # Entropy outside the logged channel, and a communicating
+            # loop with no reachable checkpoint site.
+            total += ctx.mpi.allreduce(random.random(), SUM)
+        return total
+
+    print("=== repro.check on a deliberately broken variant ===")
+    result = check_functions([broken_loop], target="broken_loop")
+    print(result.render())
+    print()
+
+    try:
+        Precompiler([broken_loop], unit_name="broken").compile(strict=True)
+    except CheckError as exc:
+        print(f"strict compile refused the unit "
+              f"({len(exc.diagnostics)} error(s)) ✓")
+
+
 def main() -> None:
     unit = Precompiler([main_loop, work], unit_name="tour").compile()
 
@@ -113,6 +148,9 @@ def main() -> None:
           f"attempts={len(outcome.attempts)}")
     assert outcome.results == gold.results
     print("recovered result identical ✓")
+
+    print()
+    static_check_tour()
 
 
 if __name__ == "__main__":

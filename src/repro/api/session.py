@@ -320,6 +320,43 @@ class Session:
             return app.name
         return getattr(app, "__name__", type(app).__name__)
 
+    def _run_check(self, app: AppLike, level: str) -> None:
+        """Static verification before a run (``check="warn"``/``"error"``).
+
+        Registered apps are checked through their defining module; plain
+        functions through their own source.  Callables whose source cannot
+        be read (precompiled units were already checked at compile time)
+        are skipped.
+        """
+        import inspect
+        import sys
+
+        from repro.check.driver import check_app, check_functions
+
+        if level not in ("warn", "error"):
+            raise ConfigError(
+                f"check must be 'off', 'warn' or 'error', got {level!r}"
+            )
+        spec = app if isinstance(app, AppSpec) else getattr(app, "__app_spec__", None)
+        if isinstance(app, str):
+            result = check_app(app)
+        elif isinstance(spec, AppSpec):
+            result = check_app(spec.name)
+        elif inspect.isfunction(app):
+            try:
+                inspect.getsource(app)
+            except (OSError, TypeError):
+                return  # REPL / exec-defined function: nothing to analyse
+            result = check_functions([app], target=self._app_name(app))
+        else:
+            return
+        if not result.ok and level == "error":
+            from repro.errors import CheckError
+
+            raise CheckError(result.render(), diagnostics=result.errors)
+        if result.diagnostics and level == "warn":
+            print(result.render(), file=sys.stderr)
+
     # ------------------------------------------------------------------ #
 
     def run(
@@ -330,14 +367,21 @@ class Session:
         params: Any = None,
         failures: Optional[FailureSchedule] = None,
         storage: Optional[Storage] = None,
+        check: Optional[str] = None,
     ) -> RunOutcome:
         """Execute one application under one configuration.
 
         ``params`` reaches the application as ``ctx.params`` (for a spec,
         ``None`` means the spec's default parameters; for a bare callable,
-        ``None`` leaves the callable untouched).
+        ``None`` leaves the callable untouched).  ``check`` overrides the
+        config's ``check`` level: ``"warn"`` prints static-verifier
+        findings before running, ``"error"`` refuses to run an app with
+        error findings (:class:`~repro.errors.CheckError`).
         """
         config = self._apply_defaults(config)
+        level = check if check is not None else config.check
+        if level != "off":
+            self._run_check(app, level)
         app_main = _build_app(self._app_ref(app), params)
         if storage is None:
             if config.storage_path is not None or not self._explicit_factory:
@@ -363,6 +407,7 @@ class Session:
         parallel: bool = True,
         max_workers: Optional[int] = None,
         farm: Optional["Farm"] = None,
+        check: Optional[str] = None,
     ) -> SweepResult:
         """Run the cross product of the requested axes.
 
@@ -383,6 +428,10 @@ class Session:
         """
         base_config = base_config if base_config is not None else RunConfig(nprocs=4)
         base_config = self._apply_defaults(base_config)
+        level = check if check is not None else base_config.check
+        if level != "off":
+            # Once up front — every cell runs the same application.
+            self._run_check(app, level)
         app_ref = self._app_ref(app)
         app_name = self._app_name(app)
         variants = tuple(_coerce_variant(v) for v in variants)

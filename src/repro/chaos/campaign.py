@@ -280,6 +280,7 @@ def run_campaign(
     parallel: bool = True,
     max_workers: Optional[int] = None,
     farm: Optional["Farm"] = None,
+    preflight: bool = True,
 ) -> CampaignReport:
     """Generate, baseline, execute and verify a whole campaign.
 
@@ -289,9 +290,19 @@ def run_campaign(
     resumable jobs otherwise — a warm rerun of an identical campaign
     executes zero simulator cells and reproduces the report bit-for-bit
     (modulo ``wall_seconds``, which is excluded from fingerprints).
+
+    ``preflight`` statically verifies the campaign's app matrix
+    (:func:`repro.check.preflight`) before any simulator runs: a campaign
+    over an app the protocol cannot recover correctly would only produce
+    noise, so error findings abort with
+    :class:`~repro.errors.CheckError` up front.
     """
     config = config if config is not None else CampaignConfig()
     session = session if session is not None else Session(max_workers=max_workers)
+    if preflight:
+        from repro.check.driver import preflight as check_preflight
+
+        check_preflight(config.apps, level="error")
 
     def fan_out(fn, payloads, labels):
         if farm is not None:

@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the pinned regression schedules instead of a generated campaign",
     )
     parser.add_argument(
+        "--no-preflight", action="store_true",
+        help="skip the repro.check static verification of the app matrix",
+    )
+    parser.add_argument(
         "--farm-dir", default=None, metavar="DIR",
         help="execute through a repro.farm cache at DIR: unchanged cells "
              "are served from the cache, the rest become resumable jobs",
@@ -107,7 +111,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         farm = Farm(args.farm_dir)
     report = run_campaign(
-        config, parallel=not args.serial, max_workers=args.max_workers, farm=farm
+        config, parallel=not args.serial, max_workers=args.max_workers,
+        farm=farm, preflight=not args.no_preflight,
     )
     print(report.summary())
     print(f"wall time: {report.wall_seconds:.1f}s")

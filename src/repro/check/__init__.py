@@ -1,0 +1,71 @@
+"""``repro.check`` — whole-program static verification for checkpointable apps.
+
+The paper's precompiler (Section 5.1) already performs a static analysis —
+checkpoint reachability, VDS membership, supported-subset validation — but
+its only output channel used to be a hard ``UnsupportedConstructError``.
+This package turns static verification into a first-class subsystem:
+structured :class:`Diagnostic` records with stable ``RPR0xx`` codes,
+``file:line:col`` spans, severities and fix hints, produced by a battery
+of analyses over any program that enters the system (a registered app, a
+precompiler unit, a module, a file).
+
+Analyses (see :mod:`repro.check.analyses`):
+
+* **supported-subset** (``RPR001``–``RPR008``) — the precompiler's
+  transformable-subset rules, reported exhaustively with spans;
+* **collective-matching** (``RPR010``/``RPR011``) — conservative
+  per-function collective-call-sequence check (the paper requires all
+  processes to execute the same sequence of collectives);
+* **unlogged-nondeterminism** (``RPR020``/``RPR021``) — nondeterministic
+  stdlib calls the protocol's result log cannot replay;
+* **VDS-escape** (``RPR030``–``RPR032``) — state that escapes the
+  checkpointed variable-descriptor set (module-global mutation, mutable
+  default arguments, closure captures);
+* **checkpoint-placement** (``RPR040``/``RPR041``) — communication loops
+  with no reachable ``potential_checkpoint`` (unbounded re-execution on
+  recovery).
+
+Entry points (:mod:`repro.check.driver`): :func:`check_functions`,
+:func:`check_module`, :func:`check_path`, :func:`check_app`, and
+:func:`preflight` (what ``Session.run(check=...)`` and chaos campaigns
+call).  The ``repro-check`` console script / ``python -m repro.check``
+lints from the command line.
+"""
+
+from repro.check.diagnostics import (
+    CODES,
+    CheckResult,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+    Span,
+    render_json,
+    render_text,
+)
+from repro.check.driver import (
+    check_app,
+    check_functions,
+    check_module,
+    check_path,
+    check_source,
+    preflight,
+    run_unit_checks,
+)
+
+__all__ = [
+    "CODES",
+    "CheckResult",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "check_app",
+    "check_functions",
+    "check_module",
+    "check_path",
+    "check_source",
+    "preflight",
+    "render_json",
+    "render_text",
+    "run_unit_checks",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.check`` — same as the ``repro-check`` console script."""
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,671 @@
+"""The five analyses behind ``repro-check``.
+
+Each analysis is a function ``(unit: CheckedUnit) -> list[Diagnostic]``;
+:data:`ANALYSES` is the battery the driver runs.  All of them operate on
+the same substrate as the precompiler — :class:`UnitAnalysis` over the
+unit's function ASTs, with method calls anchored at each function's
+communication root (its ``ctx``/``comm`` parameter) — so what the checker
+flags is exactly what the transformation and the protocol will see.
+
+The analyses are deliberately conservative in the direction of the
+protocol's correctness argument: collective matching compares the
+*syntactic* collective sequence of branch arms (the paper's requirement is
+that all processes execute the same sequence of collectives); VDS escape
+flags state the checkpointed variable-descriptor set cannot contain; and
+nondeterminism flags calls whose results the message/result log will not
+replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.check.diagnostics import Diagnostic, Span
+from repro.precompiler.analysis import (
+    UnitAnalysis,
+    Violation,
+    attr_root,
+    is_checkpoint_site,
+    stmt_contains_checkpointable,
+)
+
+#: MPI collective operations (every process of the communicator must call
+#: them in the same order — paper Section 4.5 handles their log/replay).
+COLLECTIVE_NAMES = frozenset({
+    "bcast", "reduce", "allreduce", "gather", "allgather",
+    "scatter", "alltoall", "scan", "barrier",
+})
+
+#: Point-to-point and completion calls; together with the collectives these
+#: are the unit's *communication* calls.
+P2P_NAMES = frozenset({
+    "send", "isend", "recv", "irecv", "wait", "test", "sendrecv",
+})
+
+COMM_CALL_NAMES = COLLECTIVE_NAMES | P2P_NAMES
+
+#: Dotted-prefix table for nondeterministic stdlib/numpy entropy sources
+#: (``RPR020``).  A call matches when its dotted name equals an entry or
+#: extends one past a dot.
+NONDET_PREFIXES = (
+    "random",
+    "np.random",
+    "numpy.random",
+    "os.urandom",
+    "uuid",
+    "secrets",
+)
+
+#: Host wall-clock reads (``RPR021``): replay produces a different value.
+CLOCK_NAMES = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.clock_gettime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Method names that mutate their receiver in place (``RPR030`` when the
+#: receiver is not a local).
+MUTATOR_NAMES = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+    "write", "writelines", "__setitem__",
+})
+
+#: ``construct`` keyword prefix (from :class:`Violation`) → diagnostic code.
+_SUBSET_CODE_BY_PREFIX = (
+    ("try", "RPR001"),
+    ("with", "RPR002"),
+    ("nested", "RPR003"),
+    ("short-circuit", "RPR004"),
+    ("async", "RPR005"),
+    ("generator", "RPR006"),
+    ("global", "RPR007"),
+    ("nonlocal", "RPR007"),
+    ("for-else", "RPR008"),
+    ("while-else", "RPR008"),
+)
+
+_SUBSET_HINTS = {
+    "RPR001": "hoist the checkpointable call out of the try block",
+    "RPR002": "replace the with-statement by explicit acquire/release around the call",
+    "RPR003": "move the checkpointable call to a top-level unit function",
+    "RPR004": "assign the call result to a local first, then test it",
+    "RPR005": "the checkpointable subset is synchronous; remove async/await",
+    "RPR006": "rewrite the generator as a loop accumulating into a list",
+    "RPR007": "pass state explicitly or use the globals registry",
+    "RPR008": "move the else-arm after the loop (guarded by a flag)",
+}
+
+
+@dataclass
+class CheckedUnit:
+    """What the driver hands each analysis: the unit's ASTs (line numbers
+    already absolute), one source file per function, the precompiler-grade
+    :class:`UnitAnalysis`, and every subset violation collected on the way.
+    """
+
+    functions: dict[str, ast.FunctionDef]
+    files: dict[str, str]
+    analysis: UnitAnalysis
+    violations: list[Violation] = field(default_factory=list)
+
+    def file_of(self, name: str) -> str:
+        return self.files.get(name, "<unknown>")
+
+    def span(self, name: str, node: ast.AST) -> Span:
+        return Span.of(node, self.file_of(name))
+
+    def comm_names(self, name: str):
+        return self.analysis.infos[name].comm_names
+
+    def locals_of(self, name: str) -> set[str]:
+        return set(self.analysis.infos[name].local_names)
+
+    # -- communication fixpoints ------------------------------------------ #
+
+    def _direct(self, predicate: Callable[[str, ast.AST], bool]) -> set[str]:
+        return {
+            name
+            for name, tree in self.functions.items()
+            if any(predicate(name, n) for n in ast.walk(tree))
+        }
+
+    def _transitive(self, seed: set[str]) -> set[str]:
+        out = set(seed)
+        changed = True
+        while changed:
+            changed = False
+            for name, info in self.analysis.infos.items():
+                if name not in out and info.callees & out:
+                    out.add(name)
+                    changed = True
+        return out
+
+    def _comm_call(self, fn_name: str, node: ast.AST, names) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in names
+            and attr_root(func) in self.comm_names(fn_name)
+        )
+
+    @property
+    def collective_callers(self) -> set[str]:
+        """Functions that (transitively) execute a collective."""
+        if not hasattr(self, "_collective_callers"):
+            seed = self._direct(
+                lambda f, n: self._comm_call(f, n, COLLECTIVE_NAMES)
+            )
+            self._collective_callers = self._transitive(seed)
+        return self._collective_callers
+
+    @property
+    def comm_callers(self) -> set[str]:
+        """Functions that (transitively) communicate at all."""
+        if not hasattr(self, "_comm_callers"):
+            seed = self._direct(
+                lambda f, n: self._comm_call(f, n, COMM_CALL_NAMES)
+            )
+            self._comm_callers = self._transitive(seed)
+        return self._comm_callers
+
+
+def _dotted(func: ast.expr) -> Optional[str]:
+    """``np.random.seed`` for an attribute-chain callee, ``foo`` for a
+    plain name; None for computed callees (``xs[0]()``)."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------- #
+# supported-subset (RPR001..RPR008)
+# ---------------------------------------------------------------------- #
+
+def supported_subset(unit: CheckedUnit) -> list[Diagnostic]:
+    """Render the precompiler's collected subset violations as diagnostics."""
+    out: list[Diagnostic] = []
+    for v in unit.violations:
+        code = next(
+            (c for prefix, c in _SUBSET_CODE_BY_PREFIX
+             if v.construct.startswith(prefix)),
+            "RPR003",  # unknown construct kinds are still subset errors
+        )
+        span = Span(
+            file=unit.file_of(v.function),
+            line=v.lineno or 0,
+            col=v.col_offset or 0,
+        )
+        out.append(Diagnostic(
+            code=code,
+            message=f"unsupported construct: {v.construct}",
+            span=span,
+            function=v.function,
+            hint=v.hint or _SUBSET_HINTS.get(code, ""),
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# collective-matching (RPR010, RPR011)
+# ---------------------------------------------------------------------- #
+
+def collective_matching(unit: CheckedUnit) -> list[Diagnostic]:
+    """All processes must execute the same sequence of collectives.
+
+    Per function, the analysis extracts the *collective sequence* of every
+    straight-line region (direct ``ctx.<collective>()`` calls plus calls to
+    unit functions that transitively perform collectives) and requires the
+    two arms of every ``if`` to produce equal sequences (``RPR010``).  A
+    conditional ``return``/``break`` with collectives still ahead in the
+    enclosing region earns a ``RPR011`` warning: the exiting process would
+    skip them while its peers block.
+    """
+    out: list[Diagnostic] = []
+
+    def tokens_of(node: ast.AST, fn_name: str) -> list[str]:
+        """Collective tokens in an expression/atomic statement (canonical
+        walk order — both arms of a branch are canonicalised identically)."""
+        toks = []
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in COLLECTIVE_NAMES
+                and attr_root(func) in unit.comm_names(fn_name)
+            ):
+                toks.append(func.attr)
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in unit.collective_callers
+            ):
+                toks.append(f"call:{func.id}")
+        return toks
+
+    def has_exit(stmts: list[ast.stmt]) -> bool:
+        for s in stmts:
+            for sub in ast.walk(s):
+                if isinstance(sub, (ast.Return, ast.Break)):
+                    return True
+        return False
+
+    def seq_of(stmts: list[ast.stmt], fn_name: str) -> list[str]:
+        toks: list[str] = []
+        exits: list[tuple[ast.stmt, int]] = []  # (conditional exit, pos)
+        for s in stmts:
+            if isinstance(s, ast.If):
+                toks += tokens_of(s.test, fn_name)
+                then_seq = seq_of(s.body, fn_name)
+                else_seq = seq_of(s.orelse, fn_name)
+                if then_seq != else_seq:
+                    out.append(Diagnostic(
+                        code="RPR010",
+                        message=(
+                            "branch arms execute different collective "
+                            f"sequences: {then_seq or ['<none>']} vs "
+                            f"{else_seq or ['<none>']}"
+                        ),
+                        span=unit.span(fn_name, s),
+                        function=fn_name,
+                        hint=(
+                            "all ranks must execute the same collectives; "
+                            "hoist the collective out of the branch"
+                        ),
+                    ))
+                elif has_exit(s.body) or has_exit(s.orelse):
+                    exits.append((s, len(toks)))
+                toks += then_seq
+            elif isinstance(s, (ast.For, ast.While)):
+                if isinstance(s, ast.While):
+                    toks += tokens_of(s.test, fn_name)
+                else:
+                    toks += tokens_of(s.iter, fn_name)
+                toks += seq_of(s.body, fn_name)
+                toks += seq_of(s.orelse, fn_name)
+            elif isinstance(s, ast.Try):
+                toks += seq_of(s.body, fn_name)
+                for handler in s.handlers:
+                    seq_of(handler.body, fn_name)
+                toks += seq_of(s.orelse, fn_name)
+                toks += seq_of(s.finalbody, fn_name)
+            elif isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+                continue  # separate scope/unit
+            else:
+                toks += tokens_of(s, fn_name)
+        for stmt, pos in exits:
+            if len(toks) > pos:  # collectives still ahead of the exit
+                out.append(Diagnostic(
+                    code="RPR011",
+                    message=(
+                        "conditional early exit may skip "
+                        f"{len(toks) - pos} later collective call(s)"
+                    ),
+                    span=unit.span(fn_name, stmt),
+                    function=fn_name,
+                    hint=(
+                        "a rank leaving early deadlocks peers blocked in "
+                        "the collective; make the exit collective too "
+                        "(e.g. allreduce the stop flag)"
+                    ),
+                ))
+        return toks
+
+    for name, tree in unit.functions.items():
+        seq_of(tree.body, name)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# unlogged-nondeterminism (RPR020, RPR021)
+# ---------------------------------------------------------------------- #
+
+def _matches_nondet(dotted: str) -> bool:
+    return any(
+        dotted == p or dotted.startswith(p + ".") for p in NONDET_PREFIXES
+    )
+
+
+def unlogged_nondeterminism(unit: CheckedUnit) -> list[Diagnostic]:
+    """Entropy and wall-clock reads the result log cannot replay.
+
+    The protocol replays received messages and ``ctx.nondet(...)`` results
+    from its logs; ``random.random()``/``os.urandom``/``uuid4`` draws and
+    ``time.time()`` reads happen *outside* the log, so a restarted rank
+    recomputes different values and diverges from the failure-free run.
+    Chains rooted at a local name or at the communication root
+    (``ctx.rng.random()``) are exempt — those are managed state.
+    """
+    out: list[Diagnostic] = []
+    for name, tree in unit.functions.items():
+        local = unit.locals_of(name) | set(unit.comm_names(name))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            root = dotted.split(".", 1)[0]
+            if root in local:
+                continue
+            if _matches_nondet(dotted):
+                out.append(Diagnostic(
+                    code="RPR020",
+                    message=(
+                        f"call to {dotted}() is nondeterministic and not "
+                        "logged; replay after recovery diverges"
+                    ),
+                    span=unit.span(name, node),
+                    function=name,
+                    hint=(
+                        "draw from ctx.rng (checkpointed per rank) or wrap "
+                        "the call in ctx.nondet(lambda: ...)"
+                    ),
+                ))
+            elif dotted in CLOCK_NAMES:
+                out.append(Diagnostic(
+                    code="RPR021",
+                    message=(
+                        f"call to {dotted}() reads the host wall clock, "
+                        "which differs across recovery replays"
+                    ),
+                    span=unit.span(name, node),
+                    function=name,
+                    hint=(
+                        "use the simulator's virtual time, or wrap in "
+                        "ctx.nondet(...) if the value affects control flow"
+                    ),
+                ))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# VDS-escape (RPR030, RPR031, RPR032)
+# ---------------------------------------------------------------------- #
+
+def _store_targets(node: ast.stmt) -> Iterator[ast.expr]:
+    if isinstance(node, ast.Assign):
+        yield from node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        yield node.target
+    elif isinstance(node, ast.Delete):
+        yield from node.targets
+
+
+def vds_escape(unit: CheckedUnit) -> list[Diagnostic]:
+    """State outside the checkpointed variable descriptor set.
+
+    The VDS covers the unit functions' locals (captured frame-by-frame at a
+    checkpoint).  Mutating anything else — a module global, a shared
+    default-argument object, a closure cell — survives into the restarted
+    process *or* is silently reset by it, either way breaking the paper's
+    assumption that a checkpoint captures all application state.
+    """
+    out: list[Diagnostic] = []
+    for name, tree in unit.functions.items():
+        local = unit.locals_of(name)
+        exempt = local | set(unit.comm_names(name))
+
+        # RPR031: mutable default arguments (shared across calls; their
+        # mutation is invisible to frame capture).
+        args = tree.args
+        pos = list(args.posonlyargs) + list(args.args)
+        for arg, default in zip(pos[len(pos) - len(args.defaults):],
+                                args.defaults):
+            if _is_mutable_literal(default):
+                out.append(_mutable_default(unit, name, arg, default))
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and _is_mutable_literal(default):
+                out.append(_mutable_default(unit, name, arg, default))
+
+        for node in ast.walk(tree):
+            # RPR030 (stores): x.attr = ... / x[i] = ... where x is not a
+            # local — the object lives outside every frame in the VDS.
+            if isinstance(node, ast.stmt):
+                for target in _store_targets(node):
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = attr_root(
+                            target.value if isinstance(target, ast.Subscript)
+                            else target
+                        )
+                        if root is not None and root not in exempt:
+                            out.append(Diagnostic(
+                                code="RPR030",
+                                message=(
+                                    f"store to {root}.{{...}} mutates state "
+                                    "outside the checkpointed VDS"
+                                ),
+                                span=unit.span(name, target),
+                                function=name,
+                                hint=(
+                                    "thread the object through parameters/"
+                                    "locals, or register it with the "
+                                    "globals registry"
+                                ),
+                            ))
+            # RPR030 (calls): GLOBAL.append(x) and friends.
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_NAMES
+                ):
+                    root = attr_root(func)
+                    if root is not None and root not in exempt:
+                        out.append(Diagnostic(
+                            code="RPR030",
+                            message=(
+                                f"{root}.{func.attr}() mutates state "
+                                "outside the checkpointed VDS"
+                            ),
+                            span=unit.span(name, node),
+                            function=name,
+                            hint=(
+                                "mutations of non-local objects are not "
+                                "captured by checkpoints nor undone by "
+                                "recovery"
+                            ),
+                        ))
+            # RPR032: a nested scope reading this function's locals keeps
+            # cell references the frame capture cannot see through.
+            if isinstance(node, (ast.FunctionDef, ast.Lambda)) \
+                    and node is not tree:
+                captured = sorted(_free_reads(node) & local)
+                if captured:
+                    kind = ("lambda" if isinstance(node, ast.Lambda)
+                            else f"def {node.name}")
+                    out.append(Diagnostic(
+                        code="RPR032",
+                        message=(
+                            f"{kind} captures checkpointed local(s) "
+                            f"{', '.join(captured)} by closure"
+                        ),
+                        span=unit.span(name, node),
+                        function=name,
+                        hint=(
+                            "pass the value as a default argument "
+                            "(lambda v=v: ...) so restore rebinds it"
+                        ),
+                    ))
+    return out
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"list", "dict", "set", "bytearray"}
+    )
+
+
+def _mutable_default(unit: CheckedUnit, fn_name: str, arg: ast.arg,
+                     default: ast.expr) -> Diagnostic:
+    return Diagnostic(
+        code="RPR031",
+        message=(
+            f"parameter {arg.arg!r} has a mutable default, shared across "
+            "calls and invisible to frame capture"
+        ),
+        span=unit.span(fn_name, default),
+        function=fn_name,
+        hint=f"use {arg.arg}=None and create the object inside the body",
+    )
+
+
+def _free_reads(inner: ast.AST) -> set[str]:
+    """Names the nested scope reads but does not itself bind.
+
+    Only the *body* is scanned: default expressions evaluate in the
+    enclosing scope at definition time — ``lambda v, t=total: ...`` is the
+    capture-free idiom, not a capture.
+    """
+    bound: set[str] = set()
+    reads: set[str] = set()
+    body: list[ast.AST]
+    if isinstance(inner, (ast.FunctionDef, ast.Lambda)):
+        a = inner.args
+        for arg in (list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)):
+            bound.add(arg.arg)
+        if a.vararg:
+            bound.add(a.vararg.arg)
+        if a.kwarg:
+            bound.add(a.kwarg.arg)
+        body = [inner.body] if isinstance(inner, ast.Lambda) else list(inner.body)
+    else:
+        body = [inner]
+    for part in body:
+        for node in ast.walk(part):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    bound.add(node.id)
+                else:
+                    reads.add(node.id)
+            elif isinstance(node, ast.comprehension):
+                for t in ast.walk(node.target):
+                    if isinstance(t, ast.Name):
+                        bound.add(t.id)
+    return reads - bound
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint-placement (RPR040, RPR041)
+# ---------------------------------------------------------------------- #
+
+def checkpoint_placement(unit: CheckedUnit) -> list[Diagnostic]:
+    """Recovery-cost advice: work that can never checkpoint re-executes in
+    full after every failure.
+
+    ``RPR040``: a loop that communicates but contains no checkpoint site
+    and no call into the checkpoint-reaching set — its whole execution is
+    one recovery interval.  Only the outermost such loop is reported.
+    ``RPR041``: the unit has *no* checkpoint site anywhere, yet a function
+    communicates — the program runs under the protocol but can never save
+    progress at all.
+    """
+    out: list[Diagnostic] = []
+    reaching = unit.analysis.reaching
+    unit_has_site = any(
+        info.has_checkpoint_site for info in unit.analysis.infos.values()
+    )
+
+    def communicates(node: ast.AST, fn_name: str) -> bool:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in COMM_CALL_NAMES
+                and attr_root(func) in unit.comm_names(fn_name)
+            ):
+                return True
+            if isinstance(func, ast.Name) and func.id in unit.comm_callers:
+                return True
+        return False
+
+    def visit(stmts: list[ast.stmt], fn_name: str) -> None:
+        comm_names = unit.comm_names(fn_name)
+        for s in stmts:
+            if isinstance(s, (ast.For, ast.While)):
+                if communicates(s, fn_name) and not \
+                        stmt_contains_checkpointable(s, reaching, comm_names):
+                    out.append(Diagnostic(
+                        code="RPR040",
+                        message=(
+                            "loop communicates but contains no reachable "
+                            "potential_checkpoint; a failure re-executes "
+                            "the entire loop"
+                        ),
+                        span=unit.span(fn_name, s),
+                        function=fn_name,
+                        hint=(
+                            "call ctx.potential_checkpoint() once per "
+                            "iteration (the protocol makes it cheap when "
+                            "declined)"
+                        ),
+                    ))
+                    continue  # outermost report is enough
+                visit(s.body, fn_name)
+                visit(s.orelse, fn_name)
+            elif isinstance(s, ast.If):
+                visit(s.body, fn_name)
+                visit(s.orelse, fn_name)
+            elif isinstance(s, ast.Try):
+                visit(s.body, fn_name)
+                for h in s.handlers:
+                    visit(h.body, fn_name)
+                visit(s.orelse, fn_name)
+                visit(s.finalbody, fn_name)
+            elif isinstance(s, ast.With):
+                visit(s.body, fn_name)
+
+    for name, tree in unit.functions.items():
+        visit(tree.body, name)
+        if not unit_has_site and communicates(tree, name):
+            direct = any(
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr in COMM_CALL_NAMES
+                and attr_root(n.func) in unit.comm_names(name)
+                for n in ast.walk(tree)
+            )
+            if direct:
+                out.append(Diagnostic(
+                    code="RPR041",
+                    message=(
+                        f"{name!r} communicates but the unit has no "
+                        "checkpoint site at all; no progress survives a "
+                        "failure"
+                    ),
+                    span=unit.span(name, tree),
+                    function=name,
+                    hint="insert ctx.potential_checkpoint() in the main loop",
+                ))
+    return out
+
+
+#: The battery the driver runs, in rendering order.
+ANALYSES: tuple[Callable[[CheckedUnit], list[Diagnostic]], ...] = (
+    supported_subset,
+    collective_matching,
+    unlogged_nondeterminism,
+    vds_escape,
+    checkpoint_placement,
+)

@@ -1,0 +1,238 @@
+"""Check drivers: build a checked unit from whatever the caller has.
+
+Four front doors, all funnelling into :func:`run_unit_checks`:
+
+* :func:`check_functions` — live callables (what ``Precompiler.compile``
+  uses);
+* :func:`check_module` — an imported module or dotted module name;
+* :func:`check_path` — a source file on disk (no import executed);
+* :func:`check_app` — a registered app name (checks its defining module).
+
+For modules and files the *checked unit* is selected statically: every
+top-level function with a ``ctx``/``comm``/``mpi`` parameter seeds the
+unit, plus everything those functions call by plain name, transitively —
+the same closure the precompiler would compile.  Helpers like ``build()``
+factories and ``@repro.app`` registration shims stay out.
+
+:func:`preflight` is the embedded entry point ``Session.run(check=...)``
+and chaos campaigns use: check a batch of app names and raise
+:class:`~repro.errors.CheckError` on error findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import textwrap
+from typing import Any, Callable, Iterable, Optional
+
+from repro.check.analyses import ANALYSES, CheckedUnit
+from repro.check.diagnostics import CheckResult, Diagnostic, render_text
+from repro.errors import CheckError, PrecompilerError
+from repro.precompiler.analysis import (
+    COMM_PARAM_NAMES,
+    UnitAnalysis,
+    Violation,
+    validate_supported,
+)
+
+
+def run_unit_checks(
+    functions: dict[str, ast.FunctionDef],
+    files: dict[str, str],
+    target: str,
+    extra_violations: Iterable[Violation] = (),
+) -> CheckResult:
+    """Run the whole battery over already-parsed function ASTs.
+
+    ``files`` maps function name → source path; line numbers in the trees
+    must already be absolute file coordinates.  ``extra_violations`` lets
+    the precompiler feed violations it found itself (so strict compiles
+    and the CLI render identical diagnostics).
+    """
+    violations: list[Violation] = list(extra_violations)
+    analysis = UnitAnalysis(functions, collect=violations)
+    reaching = analysis.reaching
+    for name in sorted(reaching):
+        validate_supported(
+            functions[name],
+            reaching,
+            analysis.infos[name].comm_names,
+            collect=violations,
+        )
+    unit = CheckedUnit(
+        functions=functions,
+        files=files,
+        analysis=analysis,
+        violations=violations,
+    )
+    diagnostics: list[Diagnostic] = []
+    for run in ANALYSES:
+        diagnostics.extend(run(unit))
+    # One finding per (code, place): analyses overlap at the edges.
+    seen: set[tuple] = set()
+    unique: list[Diagnostic] = []
+    for d in sorted(diagnostics, key=Diagnostic.sort_key):
+        key = (d.code, d.span.file, d.span.line, d.span.col)
+        if key not in seen:
+            seen.add(key)
+            unique.append(d)
+    return CheckResult(
+        target=target,
+        diagnostics=tuple(unique),
+        functions=tuple(sorted(functions)),
+    )
+
+
+# --------------------------------------------------------------------- #
+# loaders
+# --------------------------------------------------------------------- #
+
+def _parse_callable(fn: Callable) -> tuple[ast.FunctionDef, str]:
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        file = inspect.getsourcefile(fn) or "<unknown>"
+        first_line = fn.__code__.co_firstlineno
+    except (OSError, TypeError) as exc:
+        raise PrecompilerError(f"cannot read source of {fn!r}: {exc}") from exc
+    module = ast.parse(source)
+    defs = [n for n in module.body if isinstance(n, ast.FunctionDef)]
+    if len(defs) != 1:
+        raise PrecompilerError(
+            f"expected exactly one function def in source of {fn!r}"
+        )
+    tree = defs[0]
+    # Shift spans from source-snippet to absolute file coordinates so
+    # diagnostics point into the real file.  ``co_firstlineno`` anchors at
+    # the first decorator when the function has any.
+    anchor = (
+        tree.decorator_list[0].lineno if tree.decorator_list else tree.lineno
+    )
+    ast.increment_lineno(tree, first_line - anchor)
+    return tree, file
+
+
+def check_functions(
+    functions: Iterable[Callable],
+    target: str = "unit",
+) -> CheckResult:
+    """Check a compilation unit given as live callables."""
+    trees: dict[str, ast.FunctionDef] = {}
+    files: dict[str, str] = {}
+    for fn in functions:
+        tree, file = _parse_callable(fn)
+        trees[tree.name] = tree
+        files[tree.name] = file
+    if not trees:
+        raise PrecompilerError("empty compilation unit")
+    return run_unit_checks(trees, files, target)
+
+
+def _select_unit(module_tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """The checked unit of a module: ctx-parameter functions plus their
+    transitive plain-name callees among the top-level functions."""
+    top: dict[str, ast.FunctionDef] = {
+        n.name: n
+        for n in module_tree.body
+        if isinstance(n, ast.FunctionDef)
+    }
+
+    def has_comm_param(tree: ast.FunctionDef) -> bool:
+        params = [
+            a.arg
+            for a in (list(tree.args.posonlyargs) + list(tree.args.args))
+        ]
+        return any(p in COMM_PARAM_NAMES for p in params)
+
+    selected = {name for name, tree in top.items() if has_comm_param(tree)}
+    changed = True
+    while changed:
+        changed = False
+        for name in list(selected):
+            for node in ast.walk(top[name]):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in top
+                    and node.func.id not in selected
+                ):
+                    selected.add(node.func.id)
+                    changed = True
+    return {name: top[name] for name in sorted(selected)}
+
+
+def check_source(
+    source: str, file: str = "<string>", target: Optional[str] = None
+) -> CheckResult:
+    """Check source text (module coordinates are already absolute)."""
+    module_tree = ast.parse(source, filename=file)
+    trees = _select_unit(module_tree)
+    files = {name: file for name in trees}
+    return run_unit_checks(trees, files, target or file)
+
+
+def check_path(path: str, target: Optional[str] = None) -> CheckResult:
+    """Check one source file without importing it."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return check_source(source, file=path, target=target or path)
+
+
+def check_module(
+    module: Any, target: Optional[str] = None
+) -> CheckResult:
+    """Check an imported module (or dotted module name)."""
+    if isinstance(module, str):
+        module = importlib.import_module(module)
+    file = getattr(module, "__file__", None)
+    if not file:
+        raise PrecompilerError(
+            f"module {module.__name__!r} has no source file"
+        )
+    return check_path(file, target=target or module.__name__)
+
+
+def check_app(name: str) -> CheckResult:
+    """Check a registered application by name (its defining module)."""
+    from repro.api.registry import get_app
+
+    spec = get_app(name)
+    if not spec.module:
+        raise PrecompilerError(f"app {name!r} has no source module")
+    return check_module(spec.module, target=f"app:{name}")
+
+
+# --------------------------------------------------------------------- #
+# embedded entry point
+# --------------------------------------------------------------------- #
+
+def preflight(
+    apps: Iterable[str],
+    level: str = "error",
+) -> list[CheckResult]:
+    """Check a batch of registered apps before running them.
+
+    ``level="error"`` raises :class:`CheckError` when any app has
+    error-severity findings; ``level="warn"`` never raises (callers print
+    the results).  Returns every result either way (on raise, they ride on
+    the exception's ``results`` attribute).
+    """
+    if level not in ("warn", "error"):
+        raise ValueError(f"preflight level must be 'warn' or 'error', got {level!r}")
+    results = [check_app(name) for name in dict.fromkeys(apps)]
+    failing = [r for r in results if not r.ok]
+    if failing and level == "error":
+        bad = ", ".join(r.target for r in failing)
+        body = "\n".join(
+            render_text(r.errors) for r in failing
+        )
+        exc = CheckError(
+            f"static check failed for {bad}:\n{body}",
+            diagnostics=tuple(
+                d for r in failing for d in r.errors
+            ),
+        )
+        exc.results = results  # type: ignore[attr-defined]
+        raise exc
+    return results

@@ -86,14 +86,56 @@ class PrecompilerError(ReproError):
 
 
 class UnsupportedConstructError(PrecompilerError):
-    """Source uses a construct outside the checkpointable subset."""
+    """Source uses a construct outside the checkpointable subset.
 
-    def __init__(self, construct: str, lineno: int | None = None, hint: str = "") -> None:
-        where = f" at line {lineno}" if lineno is not None else ""
+    Carries the offending node's span (``lineno``/``col_offset``) and the
+    containing function's name when the caller knows them, and — when the
+    precompiler validated a whole unit — the complete ``violations`` list,
+    so one failure reports every offending construct, not just the first.
+    """
+
+    def __init__(
+        self,
+        construct: str,
+        lineno: int | None = None,
+        hint: str = "",
+        *,
+        col_offset: int | None = None,
+        function: str | None = None,
+        violations: tuple | None = None,
+    ) -> None:
+        where = ""
+        if lineno is not None:
+            where = f" at line {lineno}"
+            if col_offset is not None:
+                where += f":{col_offset + 1}"
+        if function:
+            where += f" in {function!r}"
         extra = f" ({hint})" if hint else ""
-        super().__init__(f"unsupported construct {construct!r}{where}{extra}")
+        message = f"unsupported construct {construct!r}{where}{extra}"
+        if violations and len(violations) > 1:
+            lines = [f"{len(violations)} unsupported constructs:"]
+            lines += [f"  {v.describe()}" for v in violations]
+            message = "\n".join(lines)
+        super().__init__(message)
         self.construct = construct
         self.lineno = lineno
+        self.col_offset = col_offset
+        self.function = function
+        #: Every subset violation found in the unit (``Violation`` records
+        #: from :mod:`repro.precompiler.analysis`); at least one entry.
+        self.violations = tuple(violations) if violations else ()
+
+
+class CheckError(ReproError):
+    """Static verification (:mod:`repro.check`) found error diagnostics.
+
+    ``diagnostics`` holds the :class:`repro.check.Diagnostic` records —
+    the same ones the ``repro-check`` CLI renders."""
+
+    def __init__(self, rendered: str, diagnostics: tuple = ()) -> None:
+        super().__init__(rendered)
+        self.diagnostics = tuple(diagnostics)
 
 
 class HeapError(ReproError):

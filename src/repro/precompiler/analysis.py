@@ -13,16 +13,29 @@ that *checkpoint-reaching* set over a compilation unit:
   call (computed to fixpoint over the unit's call graph, which handles
   mutual recursion).
 
+Method-call matches are anchored to the function's *communication root* —
+the ``ctx``/``comm`` parameter that carries the protocol layer — so a
+user's ``lock.barrier()`` is an ordinary call, not a checkpoint site (see
+:func:`comm_roots`).
+
 The analysis also enumerates every local name a function can bind (the VDS
 membership) and validates the supported subset, rejecting checkpointable
 calls in positions the transformation cannot relabel (inside ``try``/
 ``with``/nested functions/comprehensions/boolean short-circuits).
+
+Two reporting modes exist for subset validation: the historical *raise*
+mode (first violation aborts with :class:`UnsupportedConstructError`) and
+*collect* mode, where every violation in the unit is appended to a caller
+list as a :class:`Violation` carrying the offending node's full span —
+this is what :mod:`repro.check` renders as ``RPR00x`` diagnostics and what
+lets the precompiler report all violations at once.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.errors import UnsupportedConstructError
 
@@ -36,16 +49,63 @@ CHECKPOINT_NAME = "potential_checkpoint"
 #: Giving every barrier call its own labelled block realises exactly that.
 CHECKPOINT_SITE_NAMES = frozenset({CHECKPOINT_NAME, "barrier"})
 
+#: Parameter names conventionally carrying the protocol layer.  A method
+#: call only counts as a checkpoint site (or, in :mod:`repro.check`, a
+#: communication call) when its receiver chain is rooted at one of these.
+COMM_PARAM_NAMES = ("ctx", "comm", "mpi")
 
-def is_checkpoint_site(node: ast.AST) -> bool:
-    """True if ``node`` is a call that can take a local checkpoint."""
+
+def comm_roots(tree: ast.FunctionDef) -> frozenset[str]:
+    """The function's communication-root parameter names.
+
+    Parameters named ``ctx``/``comm``/``mpi`` qualify; when none is, the
+    first positional parameter is assumed to be the context (the unit
+    convention throughout this codebase), so units that spell the context
+    differently still analyse correctly.  A function with no parameters
+    has no comm roots — none of its method calls can be checkpoint sites.
+    """
+    args = tree.args
+    params = [
+        a.arg
+        for a in (list(args.posonlyargs) + list(args.args))
+    ]
+    named = frozenset(p for p in params if p in COMM_PARAM_NAMES)
+    if named:
+        return named
+    if params:
+        return frozenset({params[0]})
+    return frozenset()
+
+
+def attr_root(node: ast.expr) -> Optional[str]:
+    """The base ``Name`` of an attribute chain (``ctx.mpi.barrier`` → ``ctx``),
+    or None when the chain is rooted in a call/subscript/constant."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_checkpoint_site(
+    node: ast.AST, comm_names: Optional[frozenset[str]] = None
+) -> bool:
+    """True if ``node`` is a call that can take a local checkpoint.
+
+    With ``comm_names`` given, attribute calls only match when rooted at
+    one of those names (``ctx.barrier()`` yes, ``lock.barrier()`` no).
+    Without it, any receiver matches — the historical permissive mode kept
+    for callers that have no per-function context.
+    """
     if not isinstance(node, ast.Call):
         return False
     fn = node.func
     if isinstance(fn, ast.Name) and fn.id in CHECKPOINT_SITE_NAMES:
         return True
     if isinstance(fn, ast.Attribute) and fn.attr in CHECKPOINT_SITE_NAMES:
-        return True
+        if comm_names is None:
+            return True
+        return attr_root(fn) in comm_names
     return False
 
 
@@ -59,6 +119,44 @@ def called_unit_functions(node: ast.AST, unit_names: set[str]) -> set[str]:
     return out
 
 
+@dataclass(frozen=True)
+class Violation:
+    """One supported-subset violation, with its full source span.
+
+    ``construct`` keeps the historical human-readable keyword (``"try
+    containing checkpointable call"`` …) that exception messages and the
+    ``RPR00x`` code mapping key off.
+    """
+
+    construct: str
+    function: str
+    lineno: Optional[int] = None
+    col_offset: Optional[int] = None
+    hint: str = ""
+
+    def describe(self) -> str:
+        where = ""
+        if self.lineno is not None:
+            where = f" at line {self.lineno}"
+            if self.col_offset is not None:
+                where += f":{self.col_offset + 1}"
+        fn = f" in {self.function!r}" if self.function else ""
+        extra = f" ({self.hint})" if self.hint else ""
+        return f"{self.construct!r}{fn}{where}{extra}"
+
+
+def _violation(
+    construct: str, node: ast.AST, function: str, hint: str = ""
+) -> Violation:
+    return Violation(
+        construct=construct,
+        function=function,
+        lineno=getattr(node, "lineno", None),
+        col_offset=getattr(node, "col_offset", None),
+        hint=hint,
+    )
+
+
 @dataclass
 class FunctionInfo:
     """Analysis results for one unit function."""
@@ -69,21 +167,41 @@ class FunctionInfo:
     callees: set[str] = field(default_factory=set)
     reaches: bool = False
     local_names: list[str] = field(default_factory=list)
+    #: Names the function's checkpoint sites / comm calls must be rooted at.
+    comm_names: frozenset[str] = frozenset()
 
 
 class UnitAnalysis:
-    """Whole-unit analysis over a set of function ASTs."""
+    """Whole-unit analysis over a set of function ASTs.
 
-    def __init__(self, functions: dict[str, ast.FunctionDef]) -> None:
+    ``collect`` switches subset violations found during local-name
+    discovery (``global``/``nonlocal``) from raising to appending — the
+    all-violations reporting path.
+    """
+
+    def __init__(
+        self,
+        functions: dict[str, ast.FunctionDef],
+        collect: Optional[list[Violation]] = None,
+    ) -> None:
         self.infos: dict[str, FunctionInfo] = {}
         unit_names = set(functions)
         for name, tree in functions.items():
             info = FunctionInfo(name=name, tree=tree)
+            info.comm_names = comm_roots(tree)
             info.has_checkpoint_site = any(
-                is_checkpoint_site(n) for n in ast.walk(tree)
+                is_checkpoint_site(n, info.comm_names) for n in ast.walk(tree)
             )
             info.callees = called_unit_functions(tree, unit_names)
-            info.local_names = discover_locals(tree)
+            info.local_names = discover_locals(
+                tree,
+                on_violation=(
+                    None if collect is None
+                    else lambda c, n, h, _fn=name: collect.append(
+                        _violation(c, n, _fn, h)
+                    )
+                ),
+            )
             self.infos[name] = info
         self._compute_reaching()
 
@@ -115,11 +233,13 @@ class UnitAnalysis:
 
 
 def stmt_contains_checkpointable(
-    stmt: ast.stmt, reaching: set[str]
+    stmt: ast.stmt,
+    reaching: set[str],
+    comm_names: Optional[frozenset[str]] = None,
 ) -> bool:
     """Does this statement (recursively) contain a labelled call?"""
     for node in ast.walk(stmt):
-        if is_checkpoint_site(node):
+        if is_checkpoint_site(node, comm_names):
             return True
         if (
             isinstance(node, ast.Call)
@@ -130,9 +250,13 @@ def stmt_contains_checkpointable(
     return False
 
 
-def expr_contains_checkpointable(expr: ast.expr, reaching: set[str]) -> bool:
+def expr_contains_checkpointable(
+    expr: ast.expr,
+    reaching: set[str],
+    comm_names: Optional[frozenset[str]] = None,
+) -> bool:
     for node in ast.walk(expr):
-        if is_checkpoint_site(node):
+        if is_checkpoint_site(node, comm_names):
             return True
         if (
             isinstance(node, ast.Call)
@@ -143,9 +267,17 @@ def expr_contains_checkpointable(expr: ast.expr, reaching: set[str]) -> bool:
     return False
 
 
-def discover_locals(tree: ast.FunctionDef) -> list[str]:
+def discover_locals(
+    tree: ast.FunctionDef,
+    on_violation: Optional[Callable[[str, ast.AST, str], None]] = None,
+) -> list[str]:
     """Every name the function can bind: args, assignment targets, for
-    targets, withitems, walrus targets.  Nested function scopes excluded."""
+    targets, withitems, walrus targets.  Nested function scopes excluded.
+
+    ``global``/``nonlocal`` are outside the supported subset: the default
+    raises :class:`UnsupportedConstructError` on the first one;
+    ``on_violation(construct, node, hint)`` collects them instead.
+    """
     names: list[str] = []
     seen: set[str] = set()
 
@@ -153,6 +285,18 @@ def discover_locals(tree: ast.FunctionDef) -> list[str]:
         if name not in seen:
             seen.add(name)
             names.append(name)
+
+    def reject(construct: str, node: ast.AST, hint: str = "") -> None:
+        if on_violation is not None:
+            on_violation(construct, node, hint)
+            return
+        raise UnsupportedConstructError(
+            construct,
+            getattr(node, "lineno", None),
+            hint,
+            col_offset=getattr(node, "col_offset", None),
+            function=tree.name,
+        )
 
     args = tree.args
     for a in (
@@ -188,13 +332,13 @@ def discover_locals(tree: ast.FunctionDef) -> list[str]:
             self.visit(node.value)
 
         def visit_Global(self, node: ast.Global) -> None:
-            raise UnsupportedConstructError(
-                "global", node.lineno,
+            reject(
+                "global", node,
                 "use the globals registry (repro.statesave.globals_registry)",
             )
 
         def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
-            raise UnsupportedConstructError("nonlocal", node.lineno)
+            reject("nonlocal", node)
 
     collector = Collector()
     for stmt in tree.body:
@@ -202,21 +346,43 @@ def discover_locals(tree: ast.FunctionDef) -> list[str]:
     return names
 
 
-def validate_supported(tree: ast.FunctionDef, reaching: set[str]) -> None:
-    """Reject checkpointable calls in untransformable positions."""
+def validate_supported(
+    tree: ast.FunctionDef,
+    reaching: set[str],
+    comm_names: Optional[frozenset[str]] = None,
+    collect: Optional[list[Violation]] = None,
+) -> None:
+    """Reject checkpointable calls in untransformable positions.
+
+    Raise mode (``collect=None``) aborts on the first violation, as the
+    precompiler historically did; collect mode appends every violation in
+    the function so callers can report them all at once.
+    """
+    found: list[Violation] = []
+
+    def reject(construct: str, node: ast.AST, hint: str = "") -> None:
+        found.append(_violation(construct, node, tree.name, hint))
+        if collect is None:
+            raise UnsupportedConstructError(
+                construct,
+                getattr(node, "lineno", None),
+                hint,
+                col_offset=getattr(node, "col_offset", None),
+                function=tree.name,
+            )
 
     def check_no_reach(node: ast.AST, construct: str) -> None:
         for sub in ast.walk(node):
-            if is_checkpoint_site(sub) or (
+            if is_checkpoint_site(sub, comm_names) or (
                 isinstance(sub, ast.Call)
                 and isinstance(sub.func, ast.Name)
                 and sub.func.id in reaching
             ):
-                raise UnsupportedConstructError(
-                    construct,
-                    getattr(node, "lineno", None),
+                reject(
+                    construct, node,
                     "checkpointable calls cannot be labelled here",
                 )
+                return
 
     for node in ast.walk(tree):
         if isinstance(node, (ast.Try,)):
@@ -229,7 +395,16 @@ def validate_supported(tree: ast.FunctionDef, reaching: set[str]) -> None:
             check_no_reach(node, "nested def containing checkpointable call")
         elif isinstance(node, (ast.BoolOp, ast.IfExp)):
             check_no_reach(node, "short-circuit expression containing checkpointable call")
+        elif isinstance(node, (ast.For, ast.While)) and node.orelse:
+            # The desugarer cannot rewrite a loop that needs restartable
+            # iteration but carries an else arm; catch it here so the
+            # violation has a span instead of failing mid-transform.
+            kind = "while" if isinstance(node, ast.While) else "for"
+            if stmt_contains_checkpointable(node, reaching, comm_names):
+                reject(f"{kind}-else containing checkpointable call", node)
         elif isinstance(node, (ast.AsyncFunctionDef, ast.AsyncFor, ast.AsyncWith, ast.Await)):
-            raise UnsupportedConstructError("async construct", getattr(node, "lineno", None))
+            reject("async construct", node)
         elif isinstance(node, (ast.Yield, ast.YieldFrom)):
-            raise UnsupportedConstructError("generator function", getattr(node, "lineno", None))
+            reject("generator function", node)
+    if collect is not None:
+        collect.extend(found)

@@ -40,8 +40,12 @@ import inspect
 import textwrap
 from typing import Any, Callable, Optional
 
-from repro.errors import PrecompilerError
-from repro.precompiler.analysis import UnitAnalysis, validate_supported
+from repro.errors import CheckError, PrecompilerError, UnsupportedConstructError
+from repro.precompiler.analysis import (
+    UnitAnalysis,
+    Violation,
+    validate_supported,
+)
 from repro.precompiler.codegen import build_function, compile_module
 from repro.precompiler.desugar import Desugarer
 from repro.precompiler.flatten import Flattener
@@ -68,6 +72,9 @@ class PrecompiledUnit:
         self.transformed_names = transformed_names
         #: Generated source text per transformed function (debugging aid).
         self.sources = sources
+        #: Static-check findings (:class:`repro.check.Diagnostic` tuple)
+        #: attached by :meth:`Precompiler.compile`; empty for a clean unit.
+        self.diagnostics: tuple = ()
 
     def entry(self, name: str) -> Callable:
         try:
@@ -93,33 +100,76 @@ class Precompiler:
 
     # ------------------------------------------------------------------ #
 
-    def compile(self) -> PrecompiledUnit:
+    def compile(self, strict: bool = False) -> PrecompiledUnit:
+        """Transform the unit.
+
+        Subset violations raise :class:`UnsupportedConstructError` carrying
+        *every* violation in the unit (``exc.violations``), not just the
+        first.  The full :mod:`repro.check` battery also runs over the
+        unit; its findings are attached to the returned unit as
+        ``unit.diagnostics``.  With ``strict=True``, error-severity
+        findings from the other analyses (conditional collectives,
+        unlogged nondeterminism, VDS escape) abort compilation with
+        :class:`~repro.errors.CheckError` — the same diagnostics the
+        ``repro-check`` CLI prints.
+        """
         trees: dict[str, ast.FunctionDef] = {}
+        files: dict[str, str] = {}
         globals_ns: dict[str, Any] = {}
         for fn in self.functions:
-            tree = _parse_function(fn)
+            tree, src_file = _parse_function(fn)
             if tree.name in trees:
                 raise PrecompilerError(f"duplicate function name {tree.name!r}")
             trees[tree.name] = tree
+            files[tree.name] = src_file
             # Later functions may shadow earlier globals; same-module units
             # share one namespace anyway.
             globals_ns.update(fn.__globals__)
 
-        analysis = UnitAnalysis(trees)
+        violations: list[Violation] = []
+        analysis = UnitAnalysis(trees, collect=violations)
         reaching = analysis.reaching
-        for name in reaching:
-            validate_supported(trees[name], reaching)
+        for name in sorted(reaching):
+            validate_supported(
+                trees[name],
+                reaching,
+                analysis.infos[name].comm_names,
+                collect=violations,
+            )
+        if violations:
+            first = violations[0]
+            raise UnsupportedConstructError(
+                first.construct,
+                first.lineno,
+                first.hint,
+                col_offset=first.col_offset,
+                function=first.function,
+                violations=tuple(violations),
+            )
+
+        # Static verification over the validated unit.  Imported lazily:
+        # repro.check sits above the precompiler in the layering.
+        from repro.check.driver import run_unit_checks
+
+        check_result = run_unit_checks(
+            dict(trees), dict(files), target=self.unit_name
+        )
+        if strict and not check_result.ok:
+            raise CheckError(
+                check_result.render(), diagnostics=check_result.errors
+            )
 
         transformed_defs: list[ast.FunctionDef] = []
         sources: dict[str, str] = {}
         for name, tree in trees.items():
             if name not in reaching:
                 continue
+            comm_names = analysis.infos[name].comm_names
             func_id = f"{self.unit_name}.{name}"
             body = _strip_docstring(tree.body)
-            desugarer = Desugarer(reaching)
+            desugarer = Desugarer(reaching, comm_names)
             body = desugarer.desugar_body(body)
-            flattener = Flattener(reaching)
+            flattener = Flattener(reaching, comm_names)
             blocks = flattener.flatten_function_body(body)
             local_names = list(analysis.infos[name].local_names)
             local_names += [n for n in desugarer.new_locals if n not in local_names]
@@ -148,18 +198,25 @@ class Precompiler:
         # Transformed functions must see each other (calls by plain name).
         for name, fn in functions.items():
             namespace[name] = fn
-        return PrecompiledUnit(
+        unit = PrecompiledUnit(
             functions=functions,
             code_map=code_map,
             exclude_locals=self.exclude_locals,
             transformed_names=set(reaching),
             sources=sources,
         )
+        unit.diagnostics = check_result.diagnostics
+        return unit
 
 
-def _parse_function(fn: Callable) -> ast.FunctionDef:
+def _parse_function(fn: Callable) -> tuple[ast.FunctionDef, str]:
+    """Parse ``fn``'s source; returns the tree (line numbers shifted to
+    absolute file coordinates, so diagnostics and violation spans point
+    into the real file) and the source path."""
     try:
         source = textwrap.dedent(inspect.getsource(fn))
+        src_file = inspect.getsourcefile(fn) or "<unknown>"
+        first_line = fn.__code__.co_firstlineno
     except (OSError, TypeError) as exc:
         raise PrecompilerError(
             f"cannot read source of {fn!r}: {exc}"
@@ -170,7 +227,12 @@ def _parse_function(fn: Callable) -> ast.FunctionDef:
         raise PrecompilerError(
             f"expected exactly one function def in source of {fn!r}"
         )
-    return defs[0]
+    tree = defs[0]
+    anchor = (
+        tree.decorator_list[0].lineno if tree.decorator_list else tree.lineno
+    )
+    ast.increment_lineno(tree, first_line - anchor)
+    return tree, src_file
 
 
 def _strip_docstring(body: list[ast.stmt]) -> list[ast.stmt]:

@@ -42,8 +42,10 @@ from repro.precompiler.analysis import (
 )
 
 
-def _is_checkpointable_call(node: ast.AST, reaching: set[str]) -> bool:
-    if is_checkpoint_site(node):
+def _is_checkpointable_call(
+    node: ast.AST, reaching: set[str], comm_names=None
+) -> bool:
+    if is_checkpoint_site(node, comm_names):
         return True
     return (
         isinstance(node, ast.Call)
@@ -55,8 +57,11 @@ def _is_checkpointable_call(node: ast.AST, reaching: set[str]) -> bool:
 class Desugarer:
     """Per-function desugaring pass."""
 
-    def __init__(self, reaching: set[str]) -> None:
+    def __init__(self, reaching: set[str], comm_names=None) -> None:
         self.reaching = reaching
+        #: Attribute-call checkpoint sites must be rooted at one of these
+        #: names (the unit function's ctx/comm parameter); None = permissive.
+        self.comm_names = comm_names
         self._tmp_counter = itertools.count()
         self._iter_counter = itertools.count()
         #: Fresh names introduced (added to the function's VDS).
@@ -83,7 +88,7 @@ class Desugarer:
         return out
 
     def desugar_stmt(self, stmt: ast.stmt) -> list[ast.stmt]:
-        if not stmt_contains_checkpointable(stmt, self.reaching):
+        if not stmt_contains_checkpointable(stmt, self.reaching, self.comm_names):
             return [stmt]
 
         if isinstance(stmt, ast.For):
@@ -111,7 +116,7 @@ class Desugarer:
             )
         pre: list[ast.stmt] = []
         iterable = stmt.iter
-        if expr_contains_checkpointable(iterable, self.reaching):
+        if expr_contains_checkpointable(iterable, self.reaching, self.comm_names):
             iterable, lifted = self._lift_expr(iterable)
             pre.extend(lifted)
         it_name = self._fresh_iter()
@@ -133,7 +138,7 @@ class Desugarer:
                 "while-else containing checkpointable call", stmt.lineno
             )
         body = self.desugar_body(stmt.body)
-        if expr_contains_checkpointable(stmt.test, self.reaching):
+        if expr_contains_checkpointable(stmt.test, self.reaching, self.comm_names):
             test_expr, lifted = self._lift_expr(stmt.test)
             guard = ast.If(
                 test=ast.UnaryOp(op=ast.Not(), operand=test_expr),
@@ -152,7 +157,7 @@ class Desugarer:
     def _desugar_if(self, stmt: ast.If) -> list[ast.stmt]:
         pre: list[ast.stmt] = []
         test = stmt.test
-        if expr_contains_checkpointable(test, self.reaching):
+        if expr_contains_checkpointable(test, self.reaching, self.comm_names):
             test, pre = self._lift_expr(test)
         return [
             *pre,
@@ -172,15 +177,17 @@ class Desugarer:
         (``x = f(...)`` / ``f(...)``) or contains only lifted temps.
         """
         # Standalone forms need no lifting.
-        if isinstance(stmt, ast.Expr) and _is_checkpointable_call(stmt.value, self.reaching):
+        if isinstance(stmt, ast.Expr) and _is_checkpointable_call(
+            stmt.value, self.reaching, self.comm_names
+        ):
             return [stmt]
         if (
             isinstance(stmt, ast.Assign)
             and len(stmt.targets) == 1
             and isinstance(stmt.targets[0], ast.Name)
-            and _is_checkpointable_call(stmt.value, self.reaching)
+            and _is_checkpointable_call(stmt.value, self.reaching, self.comm_names)
             and not any(
-                _is_checkpointable_call(n, self.reaching)
+                _is_checkpointable_call(n, self.reaching, self.comm_names)
                 for n in ast.walk(stmt.value)
                 if n is not stmt.value
             )
@@ -233,7 +240,7 @@ class Desugarer:
                         for k in node.keywords
                     ],
                 )
-                if _is_checkpointable_call(node, desugarer.reaching):
+                if _is_checkpointable_call(node, desugarer.reaching, desugarer.comm_names):
                     tmp = desugarer._fresh_tmp()
                     lifted.append(_assign(tmp, node))
                     return _name(tmp)

@@ -99,8 +99,11 @@ class _LoopCtx:
 class Flattener:
     """Flatten one desugared function body into blocks."""
 
-    def __init__(self, reaching: set[str]) -> None:
+    def __init__(self, reaching: set[str], comm_names=None) -> None:
         self.reaching = reaching
+        #: Checkpoint-site attribute calls must be rooted at these names
+        #: (the function's ctx/comm parameter); None = permissive.
+        self.comm_names = comm_names
         self.blocks: list[Block] = []
         self._loop_stack: list[_LoopCtx] = []
 
@@ -129,7 +132,7 @@ class Flattener:
                 # Unreachable trailing code (after return/break): drop it,
                 # matching CPython's own dead-code tolerance.
                 break
-            if not stmt_contains_checkpointable(stmt, self.reaching):
+            if not stmt_contains_checkpointable(stmt, self.reaching, self.comm_names):
                 cur = self._emit_atomic(stmt, cur)
                 continue
             if isinstance(stmt, (ast.Assign, ast.Expr)):

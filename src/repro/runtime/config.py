@@ -105,10 +105,19 @@ class RunConfig:
     detector_timeout: float = 0.25
     cost_model: CostModel = field(default_factory=CostModel)
     max_slices: int = 20_000_000
+    #: Static verification (:mod:`repro.check`) before the run: ``"off"``
+    #: (default), ``"warn"`` (report findings, run anyway) or ``"error"``
+    #: (refuse to run an app with error-severity findings).  The
+    #: ``check=`` argument of :meth:`repro.Session.run` overrides this.
+    check: str = "off"
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
             raise ConfigError("max_restarts must be >= 0")
+        if self.check not in ("off", "warn", "error"):
+            raise ConfigError(
+                f"check must be 'off', 'warn' or 'error', got {self.check!r}"
+            )
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ConfigError("checkpoint_interval must be positive or None")
         if self.ckpt_keep_last < 1:

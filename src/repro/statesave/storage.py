@@ -52,16 +52,17 @@ class CommitRecord:
     generations without outside help; ``None`` (a record written by code
     that did not know the world size) disables validation for that entry.
 
-    Both timestamps are *virtual* time.  Persisted bytes must never carry
+    ``committed_at`` is *virtual* time.  Persisted bytes must never carry
     host wall-clock readings: they would make two identical runs write
     different commit records, breaking byte-level rerun determinism (and
-    the farm's content-addressed caching of run outcomes).  ``wall_time``
-    keeps its historical field name for on-disk compatibility.
+    the farm's content-addressed caching of run outcomes).  A historical
+    ``wall_time`` field duplicated ``committed_at`` for this reason and
+    has been folded away; records pickled by older code simply carry an
+    ignored extra attribute when read back.
     """
 
     epoch: int
     committed_at: float
-    wall_time: float
     nprocs: Optional[int] = None
 
 
@@ -258,7 +259,6 @@ class Storage:
             CommitRecord(
                 epoch=epoch,
                 committed_at=virtual_time,
-                wall_time=virtual_time,
                 nprocs=nprocs,
             )
         )

@@ -1,0 +1,9 @@
+"""A well-formed checkpointable app: the checker must stay silent."""
+
+
+def main(ctx):
+    total = 0.0
+    for i in range(8):
+        ctx.potential_checkpoint()
+        total = ctx.allreduce(total + i, op="sum")
+    return total

@@ -1,0 +1,17 @@
+"""Seeded violations: collective sequence differs between branch arms."""
+
+
+def helper_bcast(ctx, x):
+    return ctx.bcast(x)
+
+
+def main(ctx):
+    x = 1.0
+    ctx.potential_checkpoint()
+    if ctx.rank == 0:  # CHECK: RPR010
+        x = ctx.allreduce(x, op="sum")
+    for i in range(4):
+        ctx.potential_checkpoint()
+        if i % 2:  # CHECK: RPR010
+            x = helper_bcast(ctx, x)
+    return x

@@ -1,0 +1,11 @@
+"""Seeded violation: conditional early exit skipping later collectives."""
+
+
+def main(ctx):
+    total = 0.0
+    for i in range(10):
+        ctx.potential_checkpoint()
+        if total > 100:  # CHECK: RPR011
+            break
+        total = ctx.allreduce(total, op="sum")
+    return total

@@ -1,0 +1,10 @@
+"""Seeded violations: host wall-clock reads."""
+
+import time
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    t0 = time.time()  # CHECK: RPR021
+    t1 = time.perf_counter()  # CHECK: RPR021
+    return t1 - t0

@@ -1,0 +1,16 @@
+"""Seeded violations: unlogged entropy sources."""
+
+import os
+import random
+import uuid
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    a = random.random()  # CHECK: RPR020
+    b = os.urandom(8)  # CHECK: RPR020
+    c = uuid.uuid4()  # CHECK: RPR020
+    d = ctx.rng.random()  # fine: the rank's checkpointed RNG stream
+    rng = ctx.rng
+    e = rng.random()  # fine: rooted at a local
+    return a, b, c, d, e

@@ -1,0 +1,16 @@
+"""Seeded advice: communication loops that can never checkpoint."""
+
+
+def exchange(ctx, x):
+    ctx.send(x, dest=(ctx.rank + 1) % ctx.size)
+    return ctx.recv()
+
+
+def main(ctx):
+    x = 1.0
+    ctx.potential_checkpoint()
+    for i in range(100):  # CHECK: RPR040
+        x = exchange(ctx, x)
+    while x < 10.0:  # CHECK: RPR040
+        x = ctx.allreduce(x, op="sum")
+    return x

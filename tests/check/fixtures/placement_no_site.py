@@ -1,0 +1,12 @@
+"""Seeded advice: a communicating unit with no checkpoint site anywhere."""
+
+
+def ring_step(ctx, x):  # CHECK: RPR041
+    ctx.send(x, dest=(ctx.rank + 1) % ctx.size)
+    return ctx.recv()
+
+
+def main(ctx):
+    x = float(ctx.rank)
+    x = ring_step(ctx, x)
+    return x

@@ -1,0 +1,24 @@
+"""Seeded violations: async construct, generator, loop-else."""
+
+
+def main(ctx):
+    total = 0.0
+    for i in range(3):  # CHECK: RPR008
+        total += step(ctx, i)
+    else:
+        total = 0.0
+
+    async def poll():  # CHECK: RPR005
+        return 1
+
+    return total
+
+
+def gen(ctx):
+    ctx.potential_checkpoint()
+    yield 1  # CHECK: RPR006
+
+
+def step(ctx, i):
+    ctx.potential_checkpoint()
+    return float(i)

@@ -1,0 +1,18 @@
+"""Seeded violations: checkpointable calls inside try/with."""
+
+
+def main(ctx):
+    total = 0.0
+    for i in range(3):
+        try:  # CHECK: RPR001
+            total += step(ctx, i)
+        except ValueError:
+            pass
+    with open("/tmp/x") as fh:  # CHECK: RPR002
+        ctx.potential_checkpoint()
+    return total
+
+
+def step(ctx, i):
+    ctx.potential_checkpoint()
+    return float(i)

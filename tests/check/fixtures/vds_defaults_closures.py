@@ -1,0 +1,13 @@
+"""Seeded violations: mutable default argument and closure capture."""
+
+
+def helper(ctx, xs=[]):  # CHECK: RPR031
+    ctx.potential_checkpoint()
+    return xs
+
+
+def main(ctx):
+    total = 0.0
+    ctx.potential_checkpoint()
+    scale = lambda v: v * total  # CHECK: RPR032
+    return scale(1.0), helper(ctx)

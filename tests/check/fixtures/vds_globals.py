@@ -1,0 +1,12 @@
+"""Seeded violations: module-global state mutated from a unit function."""
+
+CACHE = {}
+TRACE = []
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    x = ctx.allreduce(1.0, op="sum")
+    CACHE["x"] = x  # CHECK: RPR030
+    TRACE.append(x)  # CHECK: RPR030
+    return x

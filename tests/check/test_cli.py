@@ -1,0 +1,75 @@
+"""The ``repro-check`` command line: target resolution, formats, exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.check.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CLEAN = str(FIXTURES / "clean_app.py")
+BROKEN = str(FIXTURES / "vds_globals.py")
+ADVICE_ONLY = str(FIXTURES / "placement_loops.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([CLEAN]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "0 error(s)" in out
+
+    def test_errors_exit_one(self, capsys):
+        assert main([BROKEN]) == 1
+        out = capsys.readouterr().out
+        assert "RPR030" in out
+
+    def test_advice_does_not_fail(self, capsys):
+        assert main([ADVICE_ONLY]) == 0
+        assert "RPR040" in capsys.readouterr().out
+
+    def test_fail_on_never(self, capsys):
+        assert main([BROKEN, "--fail-on", "never"]) == 0
+        capsys.readouterr()
+
+    def test_fail_on_warning(self, capsys):
+        warn_file = str(FIXTURES / "nondet_clock.py")
+        assert main([warn_file]) == 0  # warnings pass by default
+        assert main([warn_file, "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_unresolvable_target_exits_two(self, capsys):
+        assert main(["no/such/file_or_module.py"]) == 2
+        assert "failed to run" in capsys.readouterr().out
+
+
+class TestTargets:
+    def test_registered_app_by_name(self, capsys):
+        assert main(["dense_cg"]) == 0
+        assert "app:dense_cg: ok" in capsys.readouterr().out
+
+    def test_module_by_dotted_name(self, capsys):
+        assert main(["repro.apps.laplace"]) == 0
+        assert "repro.apps.laplace: ok" in capsys.readouterr().out
+
+    def test_apps_flag_checks_whole_catalogue(self, capsys):
+        assert main(["--apps"]) == 0
+        out = capsys.readouterr().out
+        for app in ("dense_cg", "laplace", "neurosys"):
+            assert f"app:{app}: ok" in out
+
+
+class TestFormats:
+    def test_json_payload(self, capsys):
+        assert main([BROKEN, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        result = payload["results"][0]
+        assert result["ok"] is False
+        codes = [d["code"] for d in result["diagnostics"]]
+        assert codes == ["RPR030", "RPR030"]
+        assert all(d["span"]["file"] == BROKEN for d in result["diagnostics"])
+
+    def test_list_codes(self, capsys):
+        assert main(["--list-codes"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR041" in out
+        assert "supported-subset" in out and "checkpoint-placement" in out

@@ -1,0 +1,58 @@
+"""The seeded-violation corpus: every fixture must produce *exactly* its
+inline ``# CHECK: RPRxxx`` expectations — same codes, same lines — and the
+corpus as a whole must exercise every registered diagnostic code."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.check import CODES, check_path
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.py"))
+
+CHECK_RE = re.compile(r"# CHECK: (RPR\d{3})")
+
+
+def expected_marks(path: Path) -> list[tuple[str, int]]:
+    out = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        for match in CHECK_RE.finditer(line):
+            out.append((match.group(1), lineno))
+    return sorted(out)
+
+
+def test_corpus_exists():
+    assert len(FIXTURES) >= 10
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_produces_exactly_expected_diagnostics(path):
+    result = check_path(str(path))
+    got = sorted((d.code, d.span.line) for d in result.diagnostics)
+    assert got == expected_marks(path)
+    for diag in result.diagnostics:
+        assert diag.span.file == str(path)
+        assert diag.span.col >= 0
+        assert diag.function  # every finding names its function
+        assert diag.hint  # and carries a fix hint
+
+
+def test_corpus_covers_every_registered_code():
+    fired = {
+        code for path in FIXTURES for code, _ in expected_marks(path)
+    }
+    assert fired == set(CODES)
+
+
+def test_every_analysis_has_two_fixtures():
+    by_analysis: dict[str, set[str]] = {}
+    for path in FIXTURES:
+        marks = expected_marks(path)
+        for code, _ in marks:
+            by_analysis.setdefault(CODES[code].analysis, set()).add(path.stem)
+    for analysis, fixtures in by_analysis.items():
+        assert len(fixtures) >= 2, (
+            f"analysis {analysis!r} is seeded by only {fixtures}"
+        )

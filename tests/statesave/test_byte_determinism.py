@@ -75,6 +75,8 @@ class TestByteIdenticalRuns:
             manifest = storage.state_manifest(rank, epoch)
             data = storage.read_state(rank, epoch)
             assert manifest.created_at == data.taken_at
-        # Commit records carry virtual time in both fields.
+        # Commit records carry virtual time only; the historical
+        # wall-clock duplicate field is gone.
         for record in storage.commit_history():
-            assert record.wall_time == record.committed_at
+            assert record.committed_at >= 0.0
+            assert not hasattr(record, "wall_time")
