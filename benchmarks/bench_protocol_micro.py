@@ -4,13 +4,16 @@ Per-operation throughput of the pieces that run on every message:
 classification, counter bookkeeping, match logging, and the late-message
 log — the constant factors behind the layer's per-message overhead —
 plus the simulator's scheduler baton handoff, which sits under every
-simulated MPI call.
+simulated MPI call, and the :mod:`repro.trace` emission path (off, the
+single attribute read every hot path pays; on, the full ring append).
 """
 
 from repro.protocol.classify import classify_by_color, classify_by_epoch
 from repro.protocol.logs import LateMessageLog, LateRecord, MatchLog, MatchRecord
 from repro.protocol.state import ProtocolState
 from repro.simmpi import run_simple
+from repro.simmpi.simulator import SimConfig, Simulator
+from repro.trace import TraceRecorder
 
 N = 5000
 
@@ -125,3 +128,57 @@ def test_scheduler_baton_handoff(benchmark):
         return sum(run_simple(ring, nprocs=8, seed=3).results)
 
     assert benchmark(run) == 8
+
+
+# --------------------------------------------------------------------- #
+# Trace-emission overhead (the tentpole's cost envelope).
+#
+# The two simulator benchmarks below differ only in whether a recorder is
+# armed: tracing off must be indistinguishable from the pre-trace
+# baseline (every emission site is one attribute read + None check), and
+# tracing on must stay within ~10% (one dataclass append per event into a
+# bounded deque).  The bench-smoke JSON artifact exhibits the ratio.
+# --------------------------------------------------------------------- #
+
+
+def _ring(ctx):
+    peer = (ctx.rank + 1) % ctx.size
+    for i in range(60):
+        ctx.comm.send(i, peer, tag=1)
+        ctx.comm.recv(source=(ctx.rank - 1) % ctx.size, tag=1)
+    return 1
+
+
+def test_sim_run_tracing_off(benchmark):
+    benchmark.group = "trace-overhead"
+
+    def run():
+        sim = Simulator(SimConfig(nprocs=8, seed=3), _ring)
+        return sum(sim.run().results)
+
+    assert benchmark(run) == 8
+
+
+def test_sim_run_tracing_on(benchmark):
+    benchmark.group = "trace-overhead"
+
+    def run():
+        sim = Simulator(
+            SimConfig(nprocs=8, seed=3), _ring, tracer=TraceRecorder()
+        )
+        return sum(sim.run().results)
+
+    assert benchmark(run) == 8
+
+
+def test_trace_emit_throughput(benchmark):
+    """Raw cost of one emit: timestamp + dataclass + deque append."""
+    benchmark.group = "trace-overhead"
+
+    def run():
+        recorder = TraceRecorder(capacity=1024)
+        for i in range(N):
+            recorder.emit("sched", "grant", t=float(i), rank=i & 7)
+        return len(recorder)
+
+    assert benchmark(run) == 1024

@@ -101,6 +101,16 @@ class RunRow:
     outcome: RunOutcome
 
     def as_dict(self) -> dict[str, Any]:
+        """One flat table row, derived from the unified metrics snapshot.
+
+        Column names and types are stable (they predate the registry);
+        only the source changed — every numeric column now reads from
+        ``outcome.metrics_snapshot()`` so tables, chaos reports and bench
+        records cannot drift apart.  ``wall_seconds`` is read directly:
+        the snapshot deliberately excludes run-level wall clock.
+        """
+        from repro.trace.metrics import snapshot_get
+
         row: dict[str, Any] = {
             "app": self.cell.app,
             "variant": self.cell.variant.value,
@@ -109,19 +119,31 @@ class RunRow:
             "params": self.cell.params,
         }
         row.update(self.cell.overrides)
-        stage_totals = self.outcome.stage_totals()
+        snap = self.outcome.metrics_snapshot()
+
+        def counter(name: str) -> float:
+            return snapshot_get(snap, "counters", name, 0.0)
+
+        stage_calls: dict[str, int] = {}
+        for name, value in snap["counters"].items():
+            if name.startswith("proto.stage_calls."):
+                stage_calls[name[len("proto.stage_calls."):]] = int(value)
+        stage_seconds: dict[str, float] = {}
+        for name, hist in snap["histograms"].items():
+            if name.startswith("proto.stage_seconds."):
+                stage_seconds[name[len("proto.stage_seconds."):]] = hist["sum"]
         row.update(
             results=self.outcome.results,
-            attempts=len(self.outcome.attempts),
-            restarts=self.outcome.restarts,
-            virtual_time=self.outcome.total_virtual_time,
+            attempts=int(snapshot_get(snap, "gauges", "run.attempts", 0.0)),
+            restarts=int(snapshot_get(snap, "gauges", "run.restarts", 0.0)),
+            virtual_time=snapshot_get(snap, "gauges", "run.virtual_time", 0.0),
             wall_seconds=self.outcome.total_wall_seconds,
-            checkpoints_committed=self.outcome.checkpoints_committed,
-            storage_bytes=self.outcome.storage_bytes_written,
-            network_messages=self.outcome.network_messages,
-            network_bytes=self.outcome.network_bytes,
-            stage_calls={n: t["calls"] for n, t in stage_totals.items()},
-            stage_seconds={n: t["seconds"] for n, t in stage_totals.items()},
+            checkpoints_committed=int(counter("ckpt.commits")),
+            storage_bytes=int(counter("store.bytes_written")),
+            network_messages=int(counter("net.messages")),
+            network_bytes=int(counter("net.bytes")),
+            stage_calls=stage_calls,
+            stage_seconds=stage_seconds,
         )
         return row
 

@@ -102,6 +102,11 @@ class ScenarioVerdict:
     virtual_time: float = 0.0
     #: Present when the shrinker minimised a failing scenario.
     shrunk: Optional[ChaosScenario] = None
+    #: Flight-recorder dump for a failing scenario: the last-N trace
+    #: events per rank (plus ``"sim"``) from an instrumented re-run.  The
+    #: dump is virtual-time-only, so embedding it keeps the report
+    #: deterministic — a warm farm rerun reproduces it bit-for-bit.
+    flight: Optional[dict[str, Any]] = None
 
     def to_dict(self) -> dict[str, Any]:
         out = {
@@ -117,6 +122,8 @@ class ScenarioVerdict:
         }
         if self.shrunk is not None:
             out["shrunk"] = self.shrunk.to_dict()
+        if self.flight is not None:
+            out["flight"] = self.flight
         return out
 
 
@@ -139,6 +146,8 @@ class CampaignReport:
         return sum(1 for v in self.verdicts if v.ok)
 
     def to_dict(self) -> dict[str, Any]:
+        from repro.trace.metrics import campaign_metrics
+
         by_kind: dict[str, int] = {}
         for v in self.verdicts:
             by_kind[v.scenario.kind] = by_kind.get(v.scenario.kind, 0) + 1
@@ -149,6 +158,9 @@ class CampaignReport:
             "failed": len(self.failures),
             "scenarios_by_kind": dict(sorted(by_kind.items())),
             "wall_seconds": self.wall_seconds,
+            # Unified-registry rollup (virtual-time accounting only, so it
+            # stays inside the deterministic fingerprint slice).
+            "metrics": campaign_metrics(self.verdicts).snapshot(),
             "verdicts": [v.to_dict() for v in self.verdicts],
         }
 
@@ -180,14 +192,46 @@ class CampaignReport:
 # --------------------------------------------------------------------- #
 
 
-def _run_once(scenario: ChaosScenario, cfg: RunConfig, params: Any, horizon: float):
+def _run_once(
+    scenario: ChaosScenario,
+    cfg: RunConfig,
+    params: Any,
+    horizon: float,
+    tracer: Any = None,
+):
     """One execution of a scenario: fresh app, storage and schedule."""
     app_main = get_app(scenario.app).build(params)
     storage = Storage.from_config(cfg)
     outcome = run_with_recovery(
-        app_main, cfg, failures=scenario.schedule(horizon), storage=storage
+        app_main, cfg, failures=scenario.schedule(horizon), storage=storage,
+        tracer=tracer,
     )
     return outcome, storage
+
+
+#: Ring capacity for flight-recorder re-runs of failing scenarios: small
+#: enough to be cheap, large enough that every rank's last-N tail survives.
+_FLIGHT_CAPACITY = 4096
+
+
+def _capture_flight(
+    scenario: ChaosScenario, cfg: RunConfig, params: Any, horizon: float
+) -> Optional[dict[str, Any]]:
+    """Re-run a failing scenario with the event bus armed; dump the tail.
+
+    The recorder is caller-owned, so its events survive even when the
+    re-run raises (``run_with_recovery`` only arms/clears it).  The dump
+    carries virtual timestamps only — embedding it in the report cannot
+    break warm-rerun bit-identity.
+    """
+    from repro.trace.recorder import TraceRecorder, flight_dump
+
+    recorder = TraceRecorder(capacity=_FLIGHT_CAPACITY)
+    try:
+        _run_once(scenario, cfg, params, horizon, tracer=recorder)
+    except Exception:
+        pass  # the verdict already records the violation; we want the tail
+    return flight_dump(recorder)
 
 
 def _baseline_job(payload: tuple) -> BaselineProbe:
@@ -203,6 +247,8 @@ def _baseline_job(payload: tuple) -> BaselineProbe:
 
 
 def _scenario_job(payload: tuple) -> ScenarioVerdict:
+    from repro.trace.metrics import snapshot_get
+
     scenario, cfg, params, probe = payload
     violations: list[str] = []
     verdict = ScenarioVerdict(scenario=scenario, ok=False)
@@ -211,15 +257,22 @@ def _scenario_job(payload: tuple) -> ScenarioVerdict:
     except Exception as exc:
         violations.append(f"run raised {type(exc).__name__}: {exc}")
         verdict.violations = tuple(violations)
+        verdict.flight = _capture_flight(scenario, cfg, params, probe.horizon)
         return verdict
-    verdict.attempts = len(outcome.attempts)
-    verdict.restarts = outcome.restarts
-    verdict.kills_fired = sum(len(a.kills) for a in outcome.attempts)
-    verdict.crashes_fired = sum(
-        len(a.checkpoint_crashes) for a in outcome.attempts
+    # Verdict accounting reads the unified metrics snapshot — the same
+    # numbers sweep tables and bench records see.  Only deterministic
+    # members (counters/gauges on the virtual clock) are consulted.
+    snap = outcome.metrics_snapshot()
+    verdict.attempts = int(snapshot_get(snap, "gauges", "run.attempts", 0.0))
+    verdict.restarts = int(snapshot_get(snap, "gauges", "run.restarts", 0.0))
+    verdict.kills_fired = int(snapshot_get(snap, "counters", "run.kills", 0.0))
+    verdict.crashes_fired = int(
+        snapshot_get(snap, "counters", "run.checkpoint_crashes", 0.0)
     )
-    verdict.checkpoints_committed = outcome.checkpoints_committed
-    verdict.virtual_time = outcome.total_virtual_time
+    verdict.checkpoints_committed = int(
+        snapshot_get(snap, "counters", "ckpt.commits", 0.0)
+    )
+    verdict.virtual_time = snapshot_get(snap, "gauges", "run.virtual_time", 0.0)
     # Invariant 1: bit-identical to the failure-free baseline.
     violations.extend(equivalence_violations(probe.results, outcome))
     # Invariant 2: storage internally consistent after the run.
@@ -237,6 +290,8 @@ def _scenario_job(payload: tuple) -> ScenarioVerdict:
         )
     verdict.violations = tuple(violations)
     verdict.ok = not violations
+    if violations:
+        verdict.flight = _capture_flight(scenario, cfg, params, probe.horizon)
     return verdict
 
 

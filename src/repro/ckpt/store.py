@@ -82,6 +82,10 @@ class CheckpointStore:
         #: it as their invalidation stamp.
         self.mutations = 0
         self._decoders: dict[str, ChunkCodec] = {self.codec.name: self.codec}
+        #: Optional :class:`repro.trace.TraceRecorder`; armed per run by the
+        #: recovery driver (via the ``Storage`` facade).  Emission sites
+        #: guard on this being None, so tracing off costs one attribute read.
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Key layout.
@@ -198,6 +202,17 @@ class CheckpointStore:
                     self.backend.delete(key)
             # Published bytes changed underneath any cached validation.
             self.mutations += 1
+        tr = self.tracer
+        if tr is not None:
+            # The manifest publish is the atomic point of two-phase commit;
+            # one event here captures the whole generation write.
+            tr.emit(
+                "store", "publish", t=manifest.created_at,
+                stream=stream, generation=generation,
+                chunks_written=stats.chunks_written,
+                chunks_reused=stats.chunks_reused,
+                bytes_stored=stats.bytes_stored,
+            )
         return manifest
 
     def load(self, stream: str, generation: int) -> Any:
@@ -357,6 +372,9 @@ class CheckpointStore:
             referenced = self._referenced_chunk_keys()
             for key in candidates - referenced:
                 self.backend.delete(key)
+        tr = self.tracer
+        if tr is not None and removed:
+            tr.emit("store", "gc", removed=removed, pinned=pinned)
         return removed
 
     def sweep_orphans(self) -> int:
@@ -371,6 +389,9 @@ class CheckpointStore:
             if key not in referenced:
                 self.backend.delete(key)
                 swept += 1
+        tr = self.tracer
+        if tr is not None and swept:
+            tr.emit("store", "sweep_orphans", swept=swept)
         return swept
 
     def _referenced_chunk_keys(self) -> set[str]:

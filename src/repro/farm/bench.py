@@ -64,6 +64,12 @@ class BenchRecorder:
             entry["virtual_time"] = virtual_time
         if extra:
             entry.update(extra)
+        # The unified-registry rendering of the same numbers (flat keys
+        # above stay for existing consumers; repro.bench.trajectory reads
+        # either).
+        from repro.trace.metrics import farm_metrics
+
+        entry["metrics"] = farm_metrics(stats).snapshot()
         doc["records"].append(entry)
         atomic_write_bytes(
             self.path, json.dumps(doc, indent=2, sort_keys=True).encode("utf-8")

@@ -139,6 +139,17 @@ class Farm:
         self.last_stats = FarmStats()
         #: Aggregate stats over this Farm instance's lifetime.
         self.total_stats = FarmStats()
+        #: Optional :class:`repro.trace.TraceRecorder` for job-lifecycle
+        #: events (hit/miss/execute/fail).  Farm events carry no virtual
+        #: clock — they happen outside any simulation — so they land at the
+        #: recorder's current offset; they are observability only and never
+        #: feed determinism fingerprints.
+        self.tracer: Optional[Any] = None
+
+    def _emit(self, name: str, **payload: Any) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("farm", name, **payload)
 
     # ------------------------------------------------------------------ #
 
@@ -194,8 +205,10 @@ class Farm:
             if self.cache.has(cell.key):
                 results[cell.index] = self.cache.get(cell.key)
                 stats.hits += 1
+                self._emit("cache_hit", cell=cell.index, key=cell.key[:16])
                 continue
             stats.misses += 1
+            self._emit("cache_miss", cell=cell.index, key=cell.key[:16])
             record = self.jobs.load(cell.key)
             if (
                 record is not None
@@ -237,12 +250,14 @@ class Farm:
                 if outcome[0] == "ok":
                     results[cell.index] = outcome[1]
                     stats.executed += 1
+                    self._emit("job_done", cell=cell.index)
                     if cell.key is not None:
                         self.cache.put(cell.key, outcome[1])
                         self.jobs.finish(record)
                 else:
                     stats.failed += 1
                     error = outcome[1]
+                    self._emit("job_failed", cell=cell.index, error=error)
                     if record is not None:
                         # Keep the short message in `error`; the worker's
                         # formatted traceback rides along for post-mortems.

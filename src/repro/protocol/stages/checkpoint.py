@@ -76,6 +76,11 @@ class CheckpointStage(ProtocolStage):
             if state.epoch < msg.epoch and state.requested_target < msg.epoch:
                 state.checkpoint_requested = True
                 state.requested_target = msg.epoch
+                tr = core.tracer
+                if tr is not None:
+                    tr.emit(
+                        "ckpt", "wave_request", rank=core.rank, epoch=msg.epoch,
+                    )
         elif isinstance(msg, ctl.MySendCount):
             if msg.epoch not in (state.epoch, state.epoch + 1):
                 raise ProtocolError(
@@ -126,6 +131,12 @@ class CheckpointStage(ProtocolStage):
             return
         core.state.am_logging = False
         core.stats.log_finalizations += 1
+        tr = core.tracer
+        if tr is not None:
+            tr.emit(
+                "ckpt", "finalize_log", rank=core.rank, epoch=core.state.epoch,
+                late=len(core.logs.late), matches=len(core.logs.matches),
+            )
         core.storage.write_log(core.rank, core.state.epoch, core.logs)
         core._send_control(
             ctl.StoppedLogging(epoch=core.state.epoch, sender=core.rank),
@@ -154,6 +165,9 @@ class CheckpointStage(ProtocolStage):
         state = core.state
         saved_early = {q: list(ids) for q, ids in state.early_ids.items() if ids}
         send_counts = state.epoch_transition()
+        tr = core.tracer
+        if tr is not None:
+            tr.emit("ckpt", "local_checkpoint", rank=core.rank, epoch=state.epoch)
         # Suppression sets apply only to re-executions of the *previous*
         # epoch's sends; entering a new epoch invalidates them.
         core.suppress = {}

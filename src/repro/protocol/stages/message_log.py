@@ -41,6 +41,12 @@ class MessageLogStage(ProtocolStage):
                 )
             state.early_ids.setdefault(src, []).append(info.message_id)
             core.stats.early_recorded += 1
+            tr = core.tracer
+            if tr is not None:
+                tr.emit(
+                    "proto", "early_record", rank=core.rank, epoch=state.epoch,
+                    source=src, mid=info.message_id,
+                )
         elif mclass is MessageClass.INTRA_EPOCH:
             if state.am_logging and not info.am_logging:
                 # Phase 4 condition (ii): a message from a process that has
@@ -64,6 +70,12 @@ class MessageLogStage(ProtocolStage):
                 )
             )
             core.stats.late_logged += 1
+            tr = core.tracer
+            if tr is not None:
+                tr.emit(
+                    "proto", "late_log", rank=core.rank, epoch=state.epoch,
+                    source=src, mid=info.message_id,
+                )
             state.previous_receive_count[src] = (
                 state.previous_receive_count.get(src, 0) + 1
             )

@@ -111,6 +111,10 @@ class ProtocolPipeline:
         self.codec = get_codec(self.config.codec)
         self.rank = comm.rank
         self.nprocs = comm.size
+        #: The simulator's repro.trace recorder, when armed (None otherwise;
+        #: every emit site below guards on that, so tracing off costs one
+        #: attribute read per traced operation).
+        self.tracer = getattr(getattr(comm, "sim", None), "tracer", None)
         self.state = ProtocolState(rank=self.rank, nprocs=self.nprocs)
         self.logs = EpochLogs(epoch=0)
         self.replay: Optional[EpochLogs] = None
@@ -267,13 +271,24 @@ class ProtocolPipeline:
             self.comm.send(payload, dest, tag, piggyback=wire)
             return
         message_id = self.state.note_send(dest)
+        tr = self.tracer
         if self.rep is not None and self.rep.is_suppressed(dest, message_id):
             # Early-message resend suppression (Section 4.2 question 3):
             # the receiver's checkpoint already contains this message, so it
             # must not be re-posted; bookkeeping still advances so that
             # subsequent IDs and the next wave's counts line up.
             self.stats.suppressed_sends += 1
+            if tr is not None:
+                tr.emit(
+                    "proto", "suppress_send", rank=self.rank,
+                    epoch=self.state.epoch, dest=dest, mid=message_id,
+                )
             return
+        if tr is not None:
+            tr.emit(
+                "proto", "send", rank=self.rank, epoch=self.state.epoch,
+                dest=dest, mid=message_id, logging=self.state.am_logging,
+            )
         t0 = perf_counter()
         wire = self.pb.encode(self.state.epoch, self.state.am_logging, message_id)
         self._charge("piggyback", t0)
@@ -302,9 +317,20 @@ class ProtocolPipeline:
             self.comm.isend(payload, dest, tag, piggyback=wire)
             return req
         message_id = self.state.note_send(dest)
+        tr = self.tracer
         if self.rep is not None and self.rep.is_suppressed(dest, message_id):
             self.stats.suppressed_sends += 1
+            if tr is not None:
+                tr.emit(
+                    "proto", "suppress_send", rank=self.rank,
+                    epoch=self.state.epoch, dest=dest, mid=message_id,
+                )
             return req
+        if tr is not None:
+            tr.emit(
+                "proto", "send", rank=self.rank, epoch=self.state.epoch,
+                dest=dest, mid=message_id, logging=self.state.am_logging,
+            )
         t0 = perf_counter()
         wire = self.pb.encode(self.state.epoch, self.state.am_logging, message_id)
         self._charge("piggyback", t0)
@@ -439,6 +465,12 @@ class ProtocolPipeline:
         t0 = perf_counter()
         mclass = self.clf.classify(info)
         self._charge("classifier", t0)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "proto", "classify", rank=self.rank, epoch=self.state.epoch,
+                source=env.source, cls=mclass.name.lower(), mid=info.message_id,
+            )
         t0 = perf_counter()
         self.msg_log.on_message(env, info, mclass)
         self._charge("message-log", t0)
@@ -867,6 +899,12 @@ class ProtocolPipeline:
         for stage in self.stages:
             if type(stage).on_restore is not ProtocolStage.on_restore:
                 stage.on_restore(data, logs)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "proto", "restore", rank=self.rank, epoch=self.state.epoch,
+                late=len(logs.late), matches=len(logs.matches),
+            )
         self._maybe_end_replay()
 
     @property

@@ -94,6 +94,14 @@ class ReplayStage(ProtocolStage):
         if core.replay.all_exhausted():
             core._replay_done_sent = True
             core.replay = None
+            tr = core.tracer
+            if tr is not None:
+                tr.emit(
+                    "proto", "replay_end", rank=core.rank, epoch=core.state.epoch,
+                    replayed_matches=core.stats.replayed_matches,
+                    replayed_nondet=core.stats.replayed_nondet,
+                    replayed_collectives=core.stats.replayed_collectives,
+                )
             core._send_control(
                 ctl.ReplayDone(epoch=core.state.epoch, sender=core.rank),
                 self.config.initiator_rank,

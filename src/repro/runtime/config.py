@@ -110,6 +110,14 @@ class RunConfig:
     #: (refuse to run an app with error-severity findings).  The
     #: ``check=`` argument of :meth:`repro.Session.run` overrides this.
     check: str = "off"
+    #: Arm the :mod:`repro.trace` event bus for this run.  When False
+    #: (default) no recorder exists and every emission site is a single
+    #: attribute read; when True the outcome carries a
+    #: :class:`~repro.trace.TraceRecorder` in ``RunOutcome.trace``.
+    trace: bool = False
+    #: Ring-buffer capacity for the recorder; ``None`` keeps every event
+    #: (what ``repro-trace record`` uses for full exports).
+    trace_buffer: Optional[int] = 65536
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
@@ -126,6 +134,8 @@ class RunConfig:
             raise ConfigError("ckpt_keep_every must be >= 1 or None")
         if self.ckpt_chunk_size < 1:
             raise ConfigError("ckpt_chunk_size must be positive")
+        if self.trace_buffer is not None and self.trace_buffer < 1:
+            raise ConfigError("trace_buffer must be >= 1 or None")
 
     def stack_spec(self) -> StackSpec:
         """The declared stage stack for this run.

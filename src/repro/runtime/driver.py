@@ -32,6 +32,7 @@ from repro.runtime.context import C3AppContext
 from repro.simmpi.failures import CheckpointCrash, FailureSchedule, KillEvent
 from repro.simmpi.simulator import SimConfig, SimResult, Simulator
 from repro.statesave.storage import Storage
+from repro.trace.recorder import TraceRecorder
 
 AppMain = Callable[[C3AppContext], Any]
 
@@ -53,6 +54,12 @@ class AttemptRecord:
     kills: tuple[KillEvent, ...] = ()
     #: … and mid-checkpoint crashes realised by stable storage.
     checkpoint_crashes: tuple[CheckpointCrash, ...] = ()
+    #: Per-stage pipeline accounting for *this attempt only*, aggregated
+    #: over ranks.  ``RunOutcome.stage_totals()`` sums these across
+    #: attempts — each attempt builds fresh layers, so summing never
+    #: double-counts.
+    stage_calls: dict[str, int] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -74,19 +81,44 @@ class RunOutcome:
     layer_stats: list[Any] = field(default_factory=list)
     network_bytes: int = 0
     network_messages: int = 0
+    #: The run's :class:`~repro.trace.TraceRecorder` when the config armed
+    #: tracing (``RunConfig.trace=True``) or the caller supplied one;
+    #: ``None`` otherwise.
+    trace: Optional[TraceRecorder] = None
 
     @property
     def restarts(self) -> int:
         return max(0, len(self.attempts) - 1)
 
-    def stage_totals(self) -> dict[str, dict[str, float]]:
-        """Per-stage pipeline overhead, aggregated over ranks.
+    @property
+    def completed(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].completed
 
-        ``{stage_name: {"calls": int, "seconds": float}}`` from the final
-        attempt's :class:`~repro.protocol.layer.LayerStats`; empty for V0
-        (the empty stack dispatches into no stages).
+    def stage_totals(self) -> dict[str, dict[str, float]]:
+        """Per-stage pipeline overhead, aggregated over ranks *and attempts*.
+
+        ``{stage_name: {"calls": int, "seconds": float}}`` summed from each
+        attempt's :class:`AttemptRecord` stage accounting (every attempt
+        builds fresh layers, so the sum never double-counts); empty for V0
+        (the empty stack dispatches into no stages).  Falls back to the
+        final attempt's ``layer_stats`` for outcomes recorded before
+        per-attempt accounting existed.
         """
         totals: dict[str, dict[str, float]] = {}
+        saw_attempt_stats = False
+        for rec in self.attempts:
+            calls_map = getattr(rec, "stage_calls", None) or {}
+            seconds_map = getattr(rec, "stage_seconds", None) or {}
+            if calls_map or seconds_map:
+                saw_attempt_stats = True
+            for name, calls in calls_map.items():
+                entry = totals.setdefault(name, {"calls": 0, "seconds": 0.0})
+                entry["calls"] += calls
+            for name, seconds in seconds_map.items():
+                entry = totals.setdefault(name, {"calls": 0, "seconds": 0.0})
+                entry["seconds"] += seconds
+        if saw_attempt_stats:
+            return totals
         for stats in self.layer_stats:
             if stats is None:
                 continue
@@ -98,20 +130,35 @@ class RunOutcome:
                 entry["seconds"] += seconds
         return totals
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """This outcome rendered under the unified ``repro.metrics/1``
+        schema (see :mod:`repro.trace.metrics`)."""
+        from repro.trace.metrics import outcome_metrics
+
+        return outcome_metrics(self).snapshot()
+
 
 def run_with_recovery(
     app_main: AppMain,
     config: RunConfig,
     failures: FailureSchedule | None = None,
     storage: Storage | None = None,
+    tracer: Optional[TraceRecorder] = None,
 ) -> RunOutcome:
     """Execute ``app_main`` under the given variant until it completes.
 
     ``app_main`` receives a :class:`C3AppContext`.  Returns per-rank results
     plus attempt/overhead accounting.  Raises :class:`RecoveryError` when
     ``config.max_restarts`` is exceeded.
+
+    ``tracer`` arms the :mod:`repro.trace` event bus for this run even when
+    the config does not; passing a recorder you own means its events
+    survive a raising run (the chaos flight recorder relies on this).
+    ``config.trace=True`` builds one sized by ``config.trace_buffer``.
     """
     storage = storage if storage is not None else Storage.from_config(config)
+    if tracer is None and config.trace:
+        tracer = TraceRecorder(capacity=config.trace_buffer)
     failures = failures if failures is not None else FailureSchedule.none()
     # Mid-checkpoint crashes fire inside the storage write path, not at a
     # scheduling point; the store realises them (torn generation +
@@ -135,20 +182,76 @@ def run_with_recovery(
     # The empty stack is V0 "Unmodified Program": the pipeline in raw
     # pass-through mode — no piggyback word, no protocol state.
     use_raw = not spec.stages
-    outcome = RunOutcome(results=[])
+    outcome = RunOutcome(results=[], trace=tracer)
     wall_start = time.perf_counter()
     commits_at_start = storage.commits
     bytes_at_start = storage.bytes_written
-    attempt_index = 0
     # The per-attempt layer registry lets us read stats after a run; keyed
-    # by rank, rebuilt on every attempt.
+    # by rank, reset on every attempt so per-attempt stage accounting never
+    # reads a stale layer from an earlier attempt.
     layers: list[Optional[CommLike]] = [None] * config.nprocs
+    # Stable storage emits store/commit events for the duration of this run
+    # (cleared on exit so a reused storage cannot feed a finished recorder).
+    if tracer is not None:
+        storage.tracer = tracer
 
+    try:
+        outcome = _recovery_loop(
+            app_main, config, failures, storage, tracer, outcome, layers,
+            spec, c3cfg, can_restore, use_raw,
+        )
+    finally:
+        if tracer is not None:
+            storage.tracer = None
+    outcome.total_wall_seconds = time.perf_counter() - wall_start
+    outcome.checkpoints_committed = storage.commits - commits_at_start
+    outcome.storage_bytes_written = storage.bytes_written - bytes_at_start
+    return outcome
+
+
+def _attempt_stage_totals(
+    layers: list[Optional[CommLike]],
+) -> tuple[dict[str, int], dict[str, float]]:
+    """Aggregate one attempt's per-rank stage accounting over ranks."""
+    calls: dict[str, int] = {}
+    seconds: dict[str, float] = {}
+    for layer in layers:
+        stats = getattr(layer, "stats", None)
+        if stats is None:
+            continue
+        for name, n in getattr(stats, "stage_calls", {}).items():
+            calls[name] = calls.get(name, 0) + n
+        for name, secs in getattr(stats, "stage_seconds", {}).items():
+            seconds[name] = seconds.get(name, 0.0) + secs
+    return calls, seconds
+
+
+def _recovery_loop(
+    app_main: AppMain,
+    config: RunConfig,
+    failures: FailureSchedule,
+    storage: Storage,
+    tracer: Optional[TraceRecorder],
+    outcome: RunOutcome,
+    layers: list[Optional[CommLike]],
+    spec: Any,
+    c3cfg: Any,
+    can_restore: bool,
+    use_raw: bool,
+) -> RunOutcome:
+    attempt_index = 0
     while True:
         failures.begin_attempt(attempt_index)
         kills_before = len(failures.consumed_events())
         crashes_before = len(failures.fired_checkpoint_crashes())
         committed = storage.committed_epoch() if can_restore else None
+        layers[:] = [None] * config.nprocs
+        if tracer is not None:
+            tracer.begin_attempt(attempt_index)
+            tracer.emit(
+                "recovery", "attempt_begin", t=0.0,
+                from_epoch=committed, restarts=attempt_index,
+            )
 
         def rank_main(rank_ctx, _committed=committed):
             if use_raw:
@@ -188,8 +291,17 @@ def run_with_recovery(
             ),
             rank_main,
             failures=failures,
+            tracer=tracer,
         )
-        result: SimResult = sim.run()
+        try:
+            result: SimResult = sim.run()
+        except BaseException:
+            # Keep the recorder coherent even when the attempt dies on an
+            # unexpected exception: the flight recorder reads its events.
+            if tracer is not None:
+                tracer.end_attempt(sim.clock.now)
+            raise
+        attempt_calls, attempt_seconds = _attempt_stage_totals(layers)
         outcome.attempts.append(
             AttemptRecord(
                 index=attempt_index,
@@ -203,12 +315,21 @@ def run_with_recovery(
                 checkpoint_crashes=failures.fired_checkpoint_crashes()[
                     crashes_before:
                 ],
+                stage_calls=attempt_calls,
+                stage_seconds=attempt_seconds,
             )
         )
         outcome.total_virtual_time += result.virtual_time
         outcome.network_bytes += result.network.bytes_delivered
         outcome.network_messages += result.network.delivered
         attempt_index += 1
+        if tracer is not None:
+            tracer.emit(
+                "recovery", "attempt_end", t=result.virtual_time,
+                completed=result.completed, failed=result.failed,
+                dead_ranks=list(result.dead_ranks),
+            )
+            tracer.end_attempt(result.virtual_time)
 
         if result.completed:
             outcome.results = result.results
@@ -229,9 +350,6 @@ def run_with_recovery(
         if sweep is not None:
             sweep()
 
-    outcome.total_wall_seconds = time.perf_counter() - wall_start
-    outcome.checkpoints_committed = storage.commits - commits_at_start
-    outcome.storage_bytes_written = storage.bytes_written - bytes_at_start
     return outcome
 
 

@@ -46,6 +46,8 @@ class HeartbeatFailureDetector:
         self._last_heard = {r: 0.0 for r in range(nprocs)}
         self._suspected: dict[int, SuspectEvent] = {}
         self._completed: set[int] = set()
+        #: Optional repro.trace recorder (armed by the simulator).
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
 
@@ -73,6 +75,12 @@ class HeartbeatFailureDetector:
                 event = SuspectEvent(rank=rank, time=now, last_heard=last)
                 self._suspected[rank] = event
                 fresh.append(event)
+                tr = self.tracer
+                if tr is not None:
+                    tr.emit(
+                        "detect", "suspect", t=now,
+                        rank=rank, last_heard=last,
+                    )
         return fresh
 
     def suspected(self) -> tuple[int, ...]:

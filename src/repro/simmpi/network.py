@@ -72,6 +72,8 @@ class Network:
         # the chosen non-overtaking discipline.
         self._last_delivery: dict[tuple, float] = {}
         self._dead: set[int] = set()
+        #: Optional repro.trace recorder (armed by the simulator).
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
 
@@ -138,6 +140,7 @@ class Network:
         dead process neither sends nor receives).
         """
         due: list[Envelope] = []
+        tr = self.tracer
         while self._heap and self._heap[0][0] <= now:
             _, _, env = heapq.heappop(self._heap)
             if env.dest in self._dead or env.source in self._dead:
@@ -145,7 +148,17 @@ class Network:
                     self.stats.dropped_dead_dest += 1
                 else:
                     self.stats.dropped_dead_source += 1
+                if tr is not None:
+                    tr.emit(
+                        "net", "drop", t=env.deliver_time, rank=env.dest,
+                        source=env.source, tag=env.tag,
+                    )
                 continue
+            if tr is not None:
+                tr.emit(
+                    "net", "deliver", t=env.deliver_time, rank=env.dest,
+                    source=env.source, tag=env.tag, nbytes=env.nbytes,
+                )
             self.stats.delivered += 1
             self.stats.bytes_delivered += env.nbytes
             self.stats.per_rank_received[env.dest] = (

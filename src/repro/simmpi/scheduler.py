@@ -62,6 +62,9 @@ class Scheduler:
             raise ConfigError(f"unknown scheduling policy {policy!r}; expected {POLICIES}")
         self.sim = sim
         self.policy = policy
+        #: Optional repro.trace recorder, taken from the simulator at
+        #: construction (the simulator binds its clock first).
+        self.tracer = getattr(sim, "tracer", None)
         self.rng = RngStream(seed, "scheduler")
         #: Set when the baton is handed back to the scheduler thread.
         self._sched_gate = threading.Event()
@@ -90,6 +93,9 @@ class Scheduler:
         self._check_kill(proc)
         proc.state = ProcState.BLOCKED
         proc.block_info = info
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("sched", "block", rank=proc.rank, why=info.kind)
         self._switch_to_scheduler(proc)
         proc.block_info = None
 
@@ -127,6 +133,9 @@ class Scheduler:
         """Give ``proc`` one slice; returns when it hands the baton back."""
         self.total_slices += 1
         proc.slices += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("sched", "grant", rank=proc.rank)
         # Every slice costs a scheduling step of virtual time; without this
         # a busy-polling rank (e.g. an MPI_Test loop) would freeze the clock
         # and in-flight messages would never come due.
@@ -165,6 +174,9 @@ class Scheduler:
         """Make a blocked rank runnable (a message arrived, or teardown)."""
         if proc.state is ProcState.BLOCKED:
             proc.state = ProcState.RUNNABLE
+            tr = self.tracer
+            if tr is not None:
+                tr.emit("sched", "wake", rank=proc.rank)
 
     def request_kill(self, proc: Proc) -> None:
         """Arrange for ``proc`` to die at its next scheduling opportunity."""
@@ -175,5 +187,18 @@ class Scheduler:
             proc.state = ProcState.RUNNABLE
 
     def describe_blocked(self, procs: list[Proc]) -> str:
-        lines = [p.describe() for p in procs if p.state is ProcState.BLOCKED]
+        """Deadlock diagnostics: every blocked rank's state, and — when
+        tracing is armed — its last few trace events, so a simulator
+        deadlock report shows *how* each rank got stuck."""
+        tr = self.tracer
+        lines = []
+        for p in procs:
+            if p.state is not ProcState.BLOCKED:
+                continue
+            line = p.describe()
+            if tr is not None:
+                recent = tr.tail(p.rank, 3)
+                if recent:
+                    line += " | recent: " + ", ".join(ev.short() for ev in recent)
+            lines.append(line)
         return "; ".join(lines) if lines else "(no blocked ranks)"

@@ -132,9 +132,18 @@ class Simulator:
         main: MainFn | Sequence[MainFn],
         failures: FailureSchedule | None = None,
         context_factory: Callable[["Simulator", Proc], RankContext] | None = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.config = config
         self.clock = VirtualClock(config.cost_model)
+        #: Optional :class:`repro.trace.TraceRecorder`.  Bound to this
+        #: attempt's clock here so every layer that can see the simulator
+        #: (scheduler, pipeline via ``comm.sim``) emits at current virtual
+        #: time; network/detector get direct references because they never
+        #: hold a sim back-pointer.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(self.clock)
         self.world_group = Group.world(config.nprocs)
         self.network = Network(
             config.nprocs,
@@ -143,11 +152,13 @@ class Simulator:
             jitter=config.jitter,
             ordering=config.ordering,
         )
+        self.network.tracer = tracer
         self.scheduler = Scheduler(self, config.seed, config.sched_policy)
         self.detector = HeartbeatFailureDetector(
             config.nprocs, timeout=config.detector_timeout,
             heartbeat_interval=config.detector_timeout / 2,
         )
+        self.detector.tracer = tracer
         self.failures = failures or FailureSchedule.none()
         self._context_factory = context_factory or RankContext
         if callable(main):
@@ -223,6 +234,9 @@ class Simulator:
                 # one timeout after the death.
                 self.detector.heard_from(event.rank, self.clock.now)
             self._death_time.setdefault(event.rank, self.clock.now)
+            tr = self.tracer
+            if tr is not None:
+                tr.emit("fail", "kill", rank=event.rank, at=event.time)
             self.scheduler.request_kill(proc)
 
     def _deliver_due_messages(self) -> None:

@@ -101,6 +101,10 @@ class Storage:
         #: Failure schedule whose mid-checkpoint crashes this store realises
         #: (armed by the recovery driver; None outside fault experiments).
         self.crash_plan: Optional["FailureSchedule"] = None
+        #: :class:`repro.trace.TraceRecorder` armed by the recovery driver
+        #: for the duration of one run; None means no tracing (and the
+        #: engine-level ``store.tracer`` mirrors this assignment).
+        self._tracer: Optional[Any] = None
         #: Epochs whose deep validation already passed (see validate_epoch),
         #: invalidated wholesale when the store's mutation stamp moves.
         self._validated_epochs: set[tuple[int, int]] = set()
@@ -122,6 +126,17 @@ class Storage:
     # ------------------------------------------------------------------ #
     # Engine observability.
     # ------------------------------------------------------------------ #
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Optional[Any]) -> None:
+        # Mirror onto the engine so two-phase-commit / retention events
+        # come from where they happen, not from this facade.
+        self._tracer = value
+        self.store.tracer = value
 
     @property
     def bytes_written(self) -> int:
@@ -265,6 +280,9 @@ class Storage:
         self.writes += 1
         self.store.put_record(COMMIT_RECORD, history)
         self.commits += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.emit("store", "commit", t=virtual_time, epoch=epoch, nprocs=nprocs)
 
     def committed_epoch(self) -> Optional[int]:
         """Epoch of the newest committed global checkpoint that still

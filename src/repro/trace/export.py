@@ -1,0 +1,221 @@
+"""Trace exporters: JSONL, Chrome trace-event JSON, text timeline.
+
+The Chrome format targets Perfetto / ``chrome://tracing``: one process
+per traced run, one thread track per rank (plus a ``sim`` track for
+rank-less scheduler/driver events), instant events on the virtual clock
+with timestamps in microseconds.  ``validate_chrome`` is a hand-rolled
+structural check (the container has no jsonschema package) that CI's
+trace-smoke job runs against exported documents.
+
+All serialization here is deterministic: events are written in recorded
+order with sorted dict keys, so same-seed runs produce byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.trace.events import CATEGORIES, TraceEvent
+
+PathLike = Union[str, Path]
+
+# tid used for events with no rank (scheduler/driver/store-level).
+SIM_TID = 10_000
+
+
+# ------------------------------------------------------------------- JSONL
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    lines = [json.dumps(ev.to_dict(), sort_keys=True, separators=(",", ":")) for ev in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: PathLike) -> Path:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(to_jsonl(events), encoding="utf-8")
+    return p
+
+
+def read_jsonl(path: PathLike) -> List[TraceEvent]:
+    out: List[TraceEvent] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(TraceEvent.from_dict(json.loads(line)))
+    return out
+
+
+# ------------------------------------------------------- Chrome trace JSON
+
+
+def to_chrome(events: Sequence[TraceEvent], process_name: str = "repro-c3") -> Dict[str, Any]:
+    """Render events as a Chrome trace-event JSON document.
+
+    One instant event (``ph: "i"``, thread scope) per trace event; ``ts``
+    is virtual seconds scaled to microseconds.  Metadata events name the
+    process and one thread per rank so Perfetto shows readable tracks.
+    """
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    ranks = sorted({ev.rank for ev in events if ev.rank is not None})
+    for rank in ranks:
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "name": "thread_name",
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    if any(ev.rank is None for ev in events):
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": SIM_TID,
+                "name": "thread_name",
+                "args": {"name": "sim"},
+            }
+        )
+    for ev in events:
+        args: Dict[str, Any] = {"attempt": ev.attempt}
+        if ev.epoch is not None:
+            args["epoch"] = ev.epoch
+        args.update(ev.payload)
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": ev.rank if ev.rank is not None else SIM_TID,
+                "ts": round(ev.t * 1e6, 3),
+                "name": f"{ev.category}.{ev.name}",
+                "cat": ev.category,
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(
+    events: Sequence[TraceEvent], path: PathLike, process_name: str = "repro-c3"
+) -> Path:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    doc = to_chrome(events, process_name=process_name)
+    p.write_text(json.dumps(doc, sort_keys=True, separators=(",", ":")), encoding="utf-8")
+    return p
+
+
+def validate_chrome(doc: Any) -> List[str]:
+    """Structural validation of a Chrome trace-event document.
+
+    Returns a list of problems; empty means the document conforms to the
+    subset of the trace-event format we emit (and Perfetto loads).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("i", "M", "X", "B", "E"):
+            problems.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"{where}: missing name")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name", "process_labels"):
+                problems.append(f"{where}: unknown metadata name {ev.get('name')!r}")
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: metadata needs args object")
+        else:
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where}: ts must be a number")
+            elif ts < 0:
+                problems.append(f"{where}: ts must be non-negative")
+            if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+                problems.append(f"{where}: instant event needs scope s in t/p/g")
+            cat = ev.get("cat")
+            if cat is not None and cat not in CATEGORIES:
+                problems.append(f"{where}: unknown category {cat!r}")
+    return problems
+
+
+# ---------------------------------------------------------- text renderers
+
+
+def render_timeline(
+    events: Sequence[TraceEvent],
+    limit: int = 0,
+    categories: Sequence[str] = (),
+) -> str:
+    """Human-readable timeline, one event per line, in recorded order.
+
+    ``categories`` filters first, then ``limit`` keeps the last N of what
+    survived — so ``limit=20, categories=("fail",)`` shows the last 20
+    failure events, not failures among the last 20 events.
+    """
+    rows: List[str] = []
+    wanted = set(categories) if categories else None
+    shown = [ev for ev in events if wanted is None or ev.category in wanted]
+    if limit > 0:
+        shown = shown[-limit:]
+    for ev in shown:
+        who = f"r{ev.rank}" if ev.rank is not None else "sim"
+        epoch = f" e{ev.epoch}" if ev.epoch is not None else ""
+        payload = ""
+        if ev.payload:
+            payload = "  " + " ".join(f"{k}={v}" for k, v in sorted(ev.payload.items()))
+        rows.append(
+            f"[a{ev.attempt} t={ev.t:>12.6f}] {who:>4}{epoch}  "
+            f"{ev.category + '.' + ev.name:<28}{payload}"
+        )
+    return "\n".join(rows)
+
+
+def summarize(events: Sequence[TraceEvent]) -> str:
+    """Per-category / per-event-name counts plus timeline extent."""
+    by_cat: Dict[str, int] = {}
+    by_name: Dict[str, int] = {}
+    for ev in events:
+        by_cat[ev.category] = by_cat.get(ev.category, 0) + 1
+        key = f"{ev.category}.{ev.name}"
+        by_name[key] = by_name.get(key, 0) + 1
+    lines = [f"events: {len(events)}"]
+    if events:
+        lines.append(f"virtual span: {events[0].t:.6f} .. {events[-1].t:.6f}")
+        attempts = 1 + max(ev.attempt for ev in events)
+        lines.append(f"attempts: {attempts}")
+    lines.append("")
+    lines.append("by category:")
+    for cat in CATEGORIES:
+        if cat in by_cat:
+            lines.append(f"  {cat:<10} {by_cat[cat]}")
+    lines.append("")
+    lines.append("by event:")
+    for key in sorted(by_name):
+        lines.append(f"  {key:<32} {by_name[key]}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""The bench-trajectory CI gate: within-file and cross-file checks."""
+
+import json
+
+from repro.bench.trajectory import (
+    check_warm_hit_rate,
+    compare_trajectories,
+    main,
+    newest_by_label,
+    record_hit_rate,
+    record_wall_seconds,
+)
+from repro.trace.metrics import MetricsRegistry
+
+
+def rec(label, wall, hit_rate=None, via_snapshot=False):
+    """One bench record, metrics either flat (legacy) or snapshot-shaped."""
+    if via_snapshot:
+        reg = MetricsRegistry()
+        reg.observe("farm.wall_seconds", wall)
+        if hit_rate is not None:
+            reg.gauge("farm.hit_rate", hit_rate)
+        return {"label": label, "metrics": reg.snapshot()}
+    out = {"label": label, "wall_seconds": wall}
+    if hit_rate is not None:
+        out["hit_rate"] = hit_rate
+    return out
+
+
+def write_traj(path, records):
+    path.write_text(json.dumps({"records": records}))
+    return str(path)
+
+
+def test_record_readers_prefer_snapshot_over_flat():
+    snap = rec("warm", 2.5, hit_rate=0.95, via_snapshot=True)
+    snap["wall_seconds"] = 99.0  # stale flat key must lose to the snapshot
+    assert record_wall_seconds(snap) == 2.5
+    assert record_hit_rate(snap) == 0.95
+    flat = rec("cold", 4.0, hit_rate=0.0)
+    assert record_wall_seconds(flat) == 4.0
+
+
+def test_newest_by_label_keeps_last():
+    records = [rec("cold", 1.0), rec("warm", 2.0), rec("cold", 3.0)]
+    newest = newest_by_label(records)
+    assert record_wall_seconds(newest["cold"]) == 3.0
+
+
+def test_warm_hit_rate_check():
+    ok = [rec("warm", 1.0, hit_rate=1.0, via_snapshot=True)]
+    assert check_warm_hit_rate(ok) == []
+    bad = [rec("warm", 1.0, hit_rate=0.4)]
+    assert any("regressed" in p for p in check_warm_hit_rate(bad))
+    assert any("no record" in p for p in check_warm_hit_rate([rec("cold", 1.0)]))
+
+
+def test_compare_trajectories_flags_only_real_regressions():
+    baseline = [rec("cold", 10.0), rec("warm", 1.0), rec("retired", 5.0)]
+    current = [rec("cold", 12.0), rec("warm", 3.5), rec("brand_new", 1.0)]
+    problems = compare_trajectories(current, baseline, max_wall_regression=1.0)
+    # warm grew 250% (> 100% allowed); cold grew 20% (fine); labels present
+    # on only one side are ignored.
+    assert len(problems) == 1 and "'warm'" in problems[0]
+
+
+def test_main_pass_and_regression_exit_codes(tmp_path, capsys):
+    baseline = write_traj(
+        tmp_path / "base.json",
+        [rec("cold", 10.0), rec("warm", 1.0, hit_rate=1.0)],
+    )
+    good = write_traj(
+        tmp_path / "good.json",
+        [rec("cold", 11.0), rec("warm", 1.1, hit_rate=1.0)],
+    )
+    assert main([good, "--against", baseline]) == 0
+    bad = write_traj(
+        tmp_path / "bad.json",
+        [rec("cold", 11.0), rec("warm", 50.0, hit_rate=0.2)],
+    )
+    assert main([bad, "--against", baseline]) == 1
+    err = capsys.readouterr().err
+    assert "BENCH REGRESSION" in err
+
+
+def test_main_missing_baseline(tmp_path, capsys):
+    good = write_traj(
+        tmp_path / "good.json", [rec("warm", 1.0, hit_rate=1.0)]
+    )
+    missing = str(tmp_path / "nope.json")
+    assert main([good, "--against", missing]) == 2
+    assert main([good, "--against", missing, "--allow-missing-baseline"]) == 0
+    assert "skipping cross-file diff" in capsys.readouterr().out
+
+
+def test_main_unusable_input(tmp_path, capsys):
+    assert main([str(tmp_path / "absent.json")]) == 2
+    empty = write_traj(tmp_path / "empty.json", [])
+    assert main([empty]) == 2

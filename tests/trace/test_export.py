@@ -1,0 +1,103 @@
+"""Exporters: JSONL roundtrip, Chrome validator, text renderers."""
+
+import json
+
+from repro.trace import (
+    TraceEvent,
+    read_jsonl,
+    render_timeline,
+    summarize,
+    to_chrome,
+    to_jsonl,
+    validate_chrome,
+    write_chrome,
+    write_jsonl,
+)
+from repro.trace.export import SIM_TID
+
+
+def sample_events():
+    return [
+        TraceEvent(t=0.0, category="recovery", name="attempt_begin",
+                   payload={"from_epoch": None}),
+        TraceEvent(t=0.001, category="sched", name="grant", rank=0),
+        TraceEvent(t=0.002, category="fail", name="kill", rank=1,
+                   payload={"at": 0.002}),
+        TraceEvent(t=0.003, category="proto", name="restore", rank=1, epoch=2,
+                   attempt=1, payload={"late": 3, "matches": 5}),
+    ]
+
+
+def test_jsonl_roundtrip(tmp_path):
+    events = sample_events()
+    path = write_jsonl(events, tmp_path / "t.jsonl")
+    assert read_jsonl(path) == events
+
+
+def test_jsonl_deterministic_bytes():
+    events = sample_events()
+    assert to_jsonl(events) == to_jsonl(list(events))
+    # sorted keys, compact separators: no spaces after separators
+    line = to_jsonl(events).splitlines()[3]
+    assert '", "' not in line and '": ' not in line
+
+
+def test_chrome_structure_and_tracks(tmp_path):
+    events = sample_events()
+    doc = to_chrome(events, process_name="test-proc")
+    assert validate_chrome(doc) == []
+    metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {(e["name"], e["args"]["name"]) for e in metas}
+    assert ("process_name", "test-proc") in names
+    assert ("thread_name", "rank 0") in names
+    assert ("thread_name", "sim") in names
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == len(events)
+    # virtual seconds scaled to microseconds; rank-less events on SIM_TID
+    assert instants[0]["tid"] == SIM_TID
+    assert instants[2]["ts"] == 2000.0
+    assert instants[3]["args"] == {"attempt": 1, "epoch": 2, "late": 3, "matches": 5}
+    # file output parses back to the same doc
+    path = write_chrome(events, tmp_path / "t.json", process_name="test-proc")
+    assert json.loads(path.read_text()) == doc
+
+
+def test_validate_chrome_rejects_malformed():
+    assert validate_chrome([]) == ["document is not a JSON object"]
+    assert validate_chrome({}) == ["traceEvents is missing or not a list"]
+    bad_ph = {"traceEvents": [{"ph": "Z", "pid": 0, "tid": 0, "name": "x"}]}
+    assert any("bad ph" in p for p in validate_chrome(bad_ph))
+    bad_ts = {"traceEvents": [
+        {"ph": "i", "s": "t", "pid": 0, "tid": 0, "name": "x", "ts": -1.0}
+    ]}
+    assert any("non-negative" in p for p in validate_chrome(bad_ts))
+    bad_scope = {"traceEvents": [
+        {"ph": "i", "s": "q", "pid": 0, "tid": 0, "name": "x", "ts": 0}
+    ]}
+    assert any("scope" in p for p in validate_chrome(bad_scope))
+    bad_cat = {"traceEvents": [
+        {"ph": "i", "s": "t", "pid": 0, "tid": 0, "name": "x", "ts": 0,
+         "cat": "nonsense"}
+    ]}
+    assert any("unknown category" in p for p in validate_chrome(bad_cat))
+    bad_tid = {"traceEvents": [
+        {"ph": "i", "s": "t", "pid": 0, "tid": "zero", "name": "x", "ts": 0}
+    ]}
+    assert any("integers" in p for p in validate_chrome(bad_tid))
+
+
+def test_render_timeline_filters_then_limits():
+    events = sample_events()
+    text = render_timeline(events)
+    assert "recovery.attempt_begin" in text and "r1 e2" in text
+    only_fail = render_timeline(events, categories=("fail",))
+    assert only_fail.count("\n") == 0 and "fail.kill" in only_fail
+    # filter applies before limit: the one fail event survives limit=1
+    assert render_timeline(events, limit=1, categories=("fail",)) == only_fail
+
+
+def test_summarize_counts():
+    text = summarize(sample_events())
+    assert "events: 4" in text
+    assert "attempts: 2" in text
+    assert "fail.kill" in text and "sched" in text

@@ -1,0 +1,78 @@
+"""The ``repro-trace`` CLI: record/view/convert/validate round trips."""
+
+import json
+
+import pytest
+
+from repro.trace.cli import main
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One recorded V2 laplace run with a kill, exported both ways."""
+    d = tmp_path_factory.mktemp("trace-cli")
+    jsonl = d / "trace.jsonl"
+    chrome = d / "trace.json"
+    rc = main([
+        "record", "--app", "laplace", "--variant", "V2",
+        "--param", "n=16", "--param", "iterations=60",
+        "--kill", "1@0.004",
+        "--jsonl", str(jsonl), "--chrome", str(chrome),
+    ])
+    assert rc == 0
+    return jsonl, chrome
+
+
+def test_record_exports_both_formats(recorded):
+    jsonl, chrome = recorded
+    assert jsonl.stat().st_size > 0
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+
+
+def test_validate_accepts_recorded_chrome(recorded, capsys):
+    _, chrome = recorded
+    assert main(["validate", str(chrome)]) == 0
+    assert "valid Chrome trace-event JSON" in capsys.readouterr().out
+
+
+def test_validate_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+    assert main(["validate", str(bad)]) == 1
+    assert capsys.readouterr().err
+
+
+def test_view_timeline_and_summary(recorded, capsys):
+    jsonl, _ = recorded
+    assert main(["view", str(jsonl), "--categories", "fail,detect,recovery"]) == 0
+    out = capsys.readouterr().out
+    assert "fail.kill" in out and "detect.suspect" in out
+    assert main(["view", str(jsonl), "--summary"]) == 0
+    assert "events:" in capsys.readouterr().out
+
+
+def test_view_rejects_unknown_category(recorded, capsys):
+    jsonl, _ = recorded
+    assert main(["view", str(jsonl), "--categories", "nonsense"]) == 1
+    assert "unknown categories" in capsys.readouterr().err
+
+
+def test_convert_matches_record_chrome_events(recorded, tmp_path):
+    jsonl, chrome = recorded
+    out = tmp_path / "converted.json"
+    assert main(["convert", str(jsonl), str(out)]) == 0
+    converted = json.loads(out.read_text())
+    original = json.loads(chrome.read_text())
+    instants = lambda doc: [e for e in doc["traceEvents"] if e["ph"] == "i"]  # noqa: E731
+    assert instants(converted) == instants(original)
+
+
+def test_record_bad_kill_spec_exits():
+    with pytest.raises(SystemExit):
+        main(["record", "--kill", "nonsense"])
+
+
+def test_record_bad_param_exits():
+    with pytest.raises(SystemExit):
+        main(["record", "--param", "not_a_field=1"])
