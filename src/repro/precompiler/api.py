@@ -46,7 +46,12 @@ from repro.precompiler.analysis import (
     Violation,
     validate_supported,
 )
-from repro.precompiler.codegen import build_function, compile_module
+from repro.precompiler.codegen import (
+    CO_PREFIX,
+    build_co_function,
+    build_function,
+    compile_module,
+)
 from repro.precompiler.desugar import Desugarer
 from repro.precompiler.flatten import Flattener
 from repro.precompiler.iterators import c3_iter
@@ -65,6 +70,7 @@ class PrecompiledUnit:
         exclude_locals: frozenset[str],
         transformed_names: set[str],
         sources: dict[str, str],
+        co_functions: Optional[dict[str, Callable]] = None,
     ) -> None:
         self.functions = functions
         self.code_map = code_map
@@ -72,6 +78,10 @@ class PrecompiledUnit:
         self.transformed_names = transformed_names
         #: Generated source text per transformed function (debugging aid).
         self.sources = sources
+        #: Cooperative (generator) twin per transformed function.  Shares
+        #: the synchronous form's func_id in ``code_map``, so captured
+        #: frames restore interchangeably across cores.
+        self.co_functions: dict[str, Callable] = co_functions or {}
         #: Static-check findings (:class:`repro.check.Diagnostic` tuple)
         #: attached by :meth:`Precompiler.compile`; empty for a clean unit.
         self.diagnostics: tuple = ()
@@ -176,6 +186,9 @@ class Precompiler:
             new_fn = build_function(tree, func_id, blocks, local_names)
             transformed_defs.append(new_fn)
             sources[name] = ast.unparse(new_fn)
+            co_fn = build_co_function(new_fn, reaching, comm_names)
+            transformed_defs.append(co_fn)
+            sources[co_fn.name] = ast.unparse(co_fn)
 
         module = compile_module(transformed_defs, self.unit_name)
         namespace = dict(globals_ns)
@@ -185,12 +198,18 @@ class Precompiler:
         exec(code, namespace)
 
         functions: dict[str, Callable] = {}
+        co_functions: dict[str, Callable] = {}
         code_map: dict[Any, str] = {}
         for name in trees:
             if name in reaching:
                 fn = namespace[name]
                 functions[name] = fn
                 code_map[fn.__code__] = f"{self.unit_name}.{name}"
+                # The cooperative twin maps to the *same* func_id: frames
+                # captured from either form restore into either form.
+                co = namespace[CO_PREFIX + name]
+                co_functions[name] = co
+                code_map[co.__code__] = f"{self.unit_name}.{name}"
             else:
                 functions[name] = next(
                     f for f in self.functions if f.__name__ == name
@@ -204,6 +223,7 @@ class Precompiler:
             exclude_locals=self.exclude_locals,
             transformed_names=set(reaching),
             sources=sources,
+            co_functions=co_functions,
         )
         unit.diagnostics = check_result.diagnostics
         return unit
@@ -274,28 +294,51 @@ class PrecompiledApp:
                 "it would never take a checkpoint"
             )
 
+    def _arm(self, ctx, rt: C3StackRuntime) -> None:
+        """Wire the state provider and (on a restart) the frame restore."""
+
+        def provider() -> Any:
+            # The rank's RNG stream is application memory; checkpoint
+            # it alongside the captured frames so draws resume
+            # mid-stream after a restart.
+            state = {"frames": rt.capture(), "rng": ctx.rng}
+            if self.extra_state is not None:
+                state["extra"] = self.extra_state()
+            return state
+
+        ctx.mpi.state_provider = provider
+        if ctx.restored and ctx._restored_app_state is not None:
+            blob = ctx._restored_app_state
+            if "rng" in blob:
+                ctx._rank_ctx.rng = blob["rng"]
+            # Precompiled code resumes past pre-checkpoint object
+            # creations; it must not consume the creation-replay cursor.
+            ctx.mpi.skip_creation_replay()
+            rt.begin_restore(blob["frames"])
+
     def __call__(self, ctx) -> Any:
         ctx.params = self.params
         rt = C3StackRuntime(self.unit).activate()
         try:
-            def provider() -> Any:
-                # The rank's RNG stream is application memory; checkpoint
-                # it alongside the captured frames so draws resume
-                # mid-stream after a restart.
-                state = {"frames": rt.capture(), "rng": ctx.rng}
-                if self.extra_state is not None:
-                    state["extra"] = self.extra_state()
-                return state
-
-            ctx.mpi.state_provider = provider
-            if ctx.restored and ctx._restored_app_state is not None:
-                blob = ctx._restored_app_state
-                if "rng" in blob:
-                    ctx._rank_ctx.rng = blob["rng"]
-                # Precompiled code resumes past pre-checkpoint object
-                # creations; it must not consume the creation-replay cursor.
-                ctx.mpi.skip_creation_replay()
-                rt.begin_restore(blob["frames"])
+            self._arm(ctx, rt)
             return self.entry_fn(ctx)
+        finally:
+            rt.deactivate()
+
+    def co_call(self, ctx):
+        """Cooperative entry: the application as a resumable generator.
+
+        The coop core's rank body ``yield from``-s this; every suspending
+        MPI call inside the transformed code yields through its generator
+        twin, so the whole rank suspends cooperatively.  Frames captured
+        here are interchangeable with the synchronous form's (same
+        func_ids), so checkpoints restore across cores.
+        """
+        ctx.params = self.params
+        co_entry = self.unit.co_functions[self.entry_name]
+        rt = C3StackRuntime(self.unit).activate()
+        try:
+            self._arm(ctx, rt)
+            return (yield from co_entry(ctx))
         finally:
             rt.deactivate()

@@ -31,6 +31,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import RecoveryError
+from repro.simmpi import coop
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.precompiler.api import PrecompiledUnit
@@ -42,6 +43,17 @@ _tls = threading.local()
 
 
 def current_runtime() -> Optional["C3StackRuntime"]:
+    """The calling rank's active runtime.
+
+    Under the cooperative core every rank shares one OS thread, so "which
+    rank is executing" is the coop current-proc registry, not the thread;
+    each :class:`~repro.simmpi.process.Proc` carries its runtime in its
+    ``c3_runtime`` slot.  Rank *threads* (the threaded core, or plain
+    unit-test calls) fall back to the historical thread-local.
+    """
+    proc = coop.current_proc()
+    if proc is not None:
+        return proc.c3_runtime
     return getattr(_tls, "runtime", None)
 
 
@@ -72,11 +84,25 @@ class C3StackRuntime:
     # ------------------------------------------------------------------ #
 
     def activate(self) -> "C3StackRuntime":
-        """Install as the calling thread's active runtime."""
-        _tls.runtime = self
+        """Install as the calling rank's active runtime.
+
+        When the cooperative core is resuming a rank generator the runtime
+        lands in that rank's ``Proc.c3_runtime`` slot; otherwise (rank
+        threads, plain test calls) in the thread-local, as always.
+        """
+        proc = coop.current_proc()
+        if proc is not None:
+            proc.c3_runtime = self
+        else:
+            _tls.runtime = self
         return self
 
     def deactivate(self) -> None:
+        proc = coop.current_proc()
+        if proc is not None:
+            if proc.c3_runtime is self:
+                proc.c3_runtime = None
+            return
         if getattr(_tls, "runtime", None) is self:
             _tls.runtime = None
 

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
+
+from repro.simmpi import coop
 
 
 class WavePhase(enum.Enum):
@@ -58,10 +60,16 @@ class Initiator:
         send_control: Callable[[object, int], None],
         commit: Callable[[int, float], None],
         now: Callable[[], float],
+        co_send_control: Optional[Callable[[object, int], Any]] = None,
     ) -> None:
         self.nprocs = nprocs
         self.interval = interval
         self._send_control = send_control
+        #: Generator-function variant of ``send_control`` (the pipeline's
+        #: ``_co_send_control``).  When set, the co_* methods route control
+        #: traffic through it so a send is a resumable scheduling point;
+        #: when absent (unit harnesses), the synchronous callback is used.
+        self._co_send_control = co_send_control
         self._commit = commit
         self._now = now
         self.phase = WavePhase.IDLE
@@ -88,9 +96,24 @@ class Initiator:
         self.awaiting_replay.discard(rank)
 
     # ------------------------------------------------------------------ #
+    # Wave lifecycle.  Each step is written once, as a generator (the
+    # cooperative form); the synchronous entry points run the generator to
+    # completion.  Outside a simulator (unit harnesses with recording
+    # callbacks) the generators never suspend, so the sync wrappers are
+    # exact equivalents of the historical methods.
+    # ------------------------------------------------------------------ #
+
+    def _co_send(self, msg: object, dest: int):
+        if self._co_send_control is not None:
+            yield from self._co_send_control(msg, dest)
+        else:
+            self._send_control(msg, dest)
 
     def poll(self, current_epoch: int) -> None:
         """Called from the layer's progress engine; may start a wave."""
+        coop.run_inline(self.co_poll(current_epoch))
+
+    def co_poll(self, current_epoch: int):
         if self.phase is not WavePhase.IDLE or self.awaiting_replay:
             return
         due = (
@@ -99,10 +122,13 @@ class Initiator:
         )
         if due or self.force_initiate:
             self.force_initiate = False
-            self.initiate(current_epoch)
+            yield from self.co_initiate(current_epoch)
 
     def initiate(self, current_epoch: int) -> None:
         """Phase 1: ask every process to checkpoint into ``current_epoch+1``."""
+        coop.run_inline(self.co_initiate(current_epoch))
+
+    def co_initiate(self, current_epoch: int):
         from repro.protocol.control import PleaseCheckpoint
 
         self.target_epoch = current_epoch + 1
@@ -112,10 +138,13 @@ class Initiator:
         self._current = WaveStats(epoch=self.target_epoch, initiated_at=self._now())
         msg = PleaseCheckpoint(epoch=self.target_epoch)
         for rank in range(self.nprocs):
-            self._send_control(msg, rank)
+            yield from self._co_send(msg, rank)
 
     def on_ready(self, rank: int, epoch: int) -> None:
         """Phase 2→3: collect readyToStopLogging; broadcast stopLogging."""
+        coop.run_inline(self.co_on_ready(rank, epoch))
+
+    def co_on_ready(self, rank: int, epoch: int):
         if epoch != self.target_epoch:
             return  # stale token from an aborted attempt
         self.ready.add(rank)
@@ -127,7 +156,7 @@ class Initiator:
             self.phase = WavePhase.COLLECTING_STOPPED
             msg = StopLogging(epoch=self.target_epoch)
             for r in range(self.nprocs):
-                self._send_control(msg, r)
+                yield from self._co_send(msg, r)
             self._check_commit()
 
     def on_stopped(self, rank: int, epoch: int) -> None:

@@ -20,6 +20,7 @@ from repro.protocol import control as ctl
 from repro.protocol.initiator import Initiator
 from repro.protocol.logs import EpochLogs
 from repro.protocol.stages.base import C3Config, ProtocolStage
+from repro.simmpi import coop
 from repro.simmpi.constants import TAG_CONTROL
 from repro.statesave.format import CheckpointData
 
@@ -42,6 +43,7 @@ class CheckpointStage(ProtocolStage):
                 send_control=core._send_control,
                 commit=self._commit,
                 now=core.comm.wtime,
+                co_send_control=core._co_send_control,
             )
         core.initiator = self.initiator
 
@@ -59,17 +61,23 @@ class CheckpointStage(ProtocolStage):
 
     def progress(self) -> None:
         """Drain and handle queued control messages; poll the initiator."""
+        coop.drive(self.co_progress(), self.core.comm)
+
+    def co_progress(self):
         core = self.core
         while True:
             env = core.comm.take_matching(tag=TAG_CONTROL)
             if env is None:
                 break
             core.stats.control_messages += 1
-            self.handle_control(env.payload, env.source)
+            yield from self.co_handle_control(env.payload, env.source)
         if self.initiator is not None:
-            self.initiator.poll(core.state.epoch)
+            yield from self.initiator.co_poll(core.state.epoch)
 
     def handle_control(self, msg: ctl.ControlMessage, source: int) -> None:
+        coop.drive(self.co_handle_control(msg, source), self.core.comm)
+
+    def co_handle_control(self, msg: ctl.ControlMessage, source: int):
         core = self.core
         state = core.state
         if isinstance(msg, ctl.PleaseCheckpoint):
@@ -89,12 +97,12 @@ class CheckpointStage(ProtocolStage):
                 )
             state.total_sent[msg.sender] = msg.count
             if state.am_logging:
-                self.received_all_check()
+                yield from self.co_received_all_check()
         elif isinstance(msg, ctl.ReadyToStopLogging):
             self._require_initiator("readyToStopLogging")
-            self.initiator.on_ready(msg.sender, msg.epoch)
+            yield from self.initiator.co_on_ready(msg.sender, msg.epoch)
         elif isinstance(msg, ctl.StopLogging):
-            self.finalize_log()
+            yield from self.co_finalize_log()
         elif isinstance(msg, ctl.StoppedLogging):
             self._require_initiator("stoppedLogging")
             self.initiator.on_stopped(msg.sender, msg.epoch)
@@ -113,6 +121,9 @@ class CheckpointStage(ProtocolStage):
     # -- receivedAll? / finalizeLog (Figure 4) --------------------------- #
 
     def received_all_check(self) -> None:
+        coop.drive(self.co_received_all_check(), self.core.comm)
+
+    def co_received_all_check(self):
         core = self.core
         state = core.state
         if state.ready_sent or not state.am_logging:
@@ -120,12 +131,15 @@ class CheckpointStage(ProtocolStage):
         if state.all_late_received():
             state.ready_sent = True
             state.reset_total_sent()
-            core._send_control(
+            yield from core._co_send_control(
                 ctl.ReadyToStopLogging(epoch=state.epoch, sender=core.rank),
                 self.config.initiator_rank,
             )
 
     def finalize_log(self) -> None:
+        coop.drive(self.co_finalize_log(), self.core.comm)
+
+    def co_finalize_log(self):
         core = self.core
         if not core.state.am_logging:
             return
@@ -138,7 +152,7 @@ class CheckpointStage(ProtocolStage):
                 late=len(core.logs.late), matches=len(core.logs.matches),
             )
         core.storage.write_log(core.rank, core.state.epoch, core.logs)
-        core._send_control(
+        yield from core._co_send_control(
             ctl.StoppedLogging(epoch=core.state.epoch, sender=core.rank),
             self.config.initiator_rank,
         )
@@ -152,15 +166,21 @@ class CheckpointStage(ProtocolStage):
         (the initiator never starts a wave during replay, so this can only
         trigger in exotic interleavings and is safe to postpone).
         """
+        return coop.drive(self.co_potential_checkpoint(), self.core.comm)
+
+    def co_potential_checkpoint(self):
         core = self.core
         if core.replay is not None:
             return False
         if not core.state.checkpoint_requested:
             return False
-        self.take_local_checkpoint()
+        yield from self.co_take_local_checkpoint()
         return True
 
     def take_local_checkpoint(self) -> None:
+        coop.drive(self.co_take_local_checkpoint(), self.core.comm)
+
+    def co_take_local_checkpoint(self):
         core = self.core
         state = core.state
         saved_early = {q: list(ids) for q, ids in state.early_ids.items() if ids}
@@ -195,7 +215,7 @@ class CheckpointStage(ProtocolStage):
             core.stats.ckpt_chunks_reused += manifest.reused_chunks
         core.stats.checkpoints_taken += 1
         for q in state.receivers:
-            core._send_control(
+            yield from core._co_send_control(
                 ctl.MySendCount(
                     epoch=state.epoch, sender=core.rank,
                     count=send_counts.get(q, 0),
@@ -206,7 +226,7 @@ class CheckpointStage(ProtocolStage):
         core.logs = EpochLogs(epoch=state.epoch)
         if core.on_checkpoint is not None:
             core.on_checkpoint(data)
-        self.received_all_check()
+        yield from self.co_received_all_check()
 
     def request_checkpoint_now(self) -> None:
         """Ask the initiator to start a wave at its next poll (tests/API)."""

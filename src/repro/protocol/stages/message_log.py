@@ -23,6 +23,7 @@ from repro.protocol.classify import MessageClass
 from repro.protocol.logs import LateRecord, MatchRecord
 from repro.protocol.piggyback import PiggybackInfo
 from repro.protocol.stages.base import ProtocolStage
+from repro.simmpi import coop
 
 
 class MessageLogStage(ProtocolStage):
@@ -31,6 +32,9 @@ class MessageLogStage(ProtocolStage):
     name = "message-log"
 
     def on_message(self, env, info: PiggybackInfo, mclass: MessageClass) -> None:
+        coop.drive(self.co_on_message(env, info, mclass), self.core.comm)
+
+    def co_on_message(self, env, info: PiggybackInfo, mclass: MessageClass):
         core = self.core
         state = core.state
         src = env.source
@@ -51,7 +55,7 @@ class MessageLogStage(ProtocolStage):
             if state.am_logging and not info.am_logging:
                 # Phase 4 condition (ii): a message from a process that has
                 # stopped logging means every process has checkpointed.
-                core._finalize_log()
+                yield from core._co_finalize_log()
             state.current_receive_count[src] = (
                 state.current_receive_count.get(src, 0) + 1
             )
@@ -89,4 +93,4 @@ class MessageLogStage(ProtocolStage):
                 )
             )
         if mclass is MessageClass.LATE:
-            core._received_all_check()
+            yield from core._co_received_all_check()

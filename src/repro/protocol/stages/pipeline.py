@@ -37,6 +37,7 @@ from repro.protocol.pseudo_handles import PseudoHandle, RequestTable
 from repro.protocol.stages.base import C3Config, LayerStats, ProtocolStage
 from repro.protocol.state import ProtocolState
 from repro.simmpi import collectives_impl as coll_impl
+from repro.simmpi import coop
 from repro.simmpi.comm import Comm
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, TAG_CONTROL
 from repro.simmpi.op import Op
@@ -190,42 +191,103 @@ class ProtocolPipeline:
         self.stats.stage_seconds[name] += perf_counter() - t0
 
     # ------------------------------------------------------------------ #
+    # Cooperative-core plumbing.
+    #
+    # Every CommLike operation below is written ONCE, as a ``co_*``
+    # generator whose yields are the scheduling points; the synchronous
+    # method of the same name just drives that generator (under the
+    # threaded core a yield suspends the calling rank thread on its baton
+    # gate; under the cooperative core the generator is resumed by the
+    # scheduler directly).  ``_co_call`` routes an underlying-communicator
+    # operation through its generator twin when one exists and falls back
+    # to the plain method for comm doubles that only implement the
+    # synchronous surface (such stand-ins never suspend, so the generators
+    # complete on first resume and the sync wrappers behave exactly like
+    # the historical code).
+    # ------------------------------------------------------------------ #
+
+    def _co_call(self, target: Any, name: str, *args: Any, **kwargs: Any):
+        co = getattr(target, "co_" + name, None)
+        if co is None:
+            return getattr(target, name)(*args, **kwargs)
+        return (yield from co(*args, **kwargs))
+
+    def _co_recv_envelope(self, source: int, tag: int, predicate: Any = None):
+        # ``predicate`` is only forwarded when set so doubles implementing
+        # the plain two-argument recv_envelope keep working.
+        if predicate is None:
+            return (yield from self._co_call(self.comm, "recv_envelope", source, tag))
+        return (
+            yield from self._co_call(
+                self.comm, "recv_envelope", source, tag, predicate=predicate
+            )
+        )
+
+    def _co_yield_point(self):
+        co = getattr(self.comm, "co_yield_point", None)
+        if co is None:
+            self.comm._yield_point()
+        else:
+            yield from co()
+
+    # ------------------------------------------------------------------ #
     # Control plane (shared by the checkpoint and replay stages).
     # ------------------------------------------------------------------ #
 
     def _send_control(self, msg: ctl.ControlMessage, dest: int) -> None:
+        coop.drive(self._co_send_control(msg, dest), self.comm)
+
+    def _co_send_control(self, msg: ctl.ControlMessage, dest: int):
         if dest == self.rank:
-            self._handle_control(msg, self.rank)
+            yield from self._co_handle_control(msg, self.rank)
         else:
-            self.comm.send(msg, dest, tag=TAG_CONTROL)
+            yield from self._co_call(self.comm, "send", msg, dest, tag=TAG_CONTROL)
 
     def _handle_control(self, msg: ctl.ControlMessage, source: int) -> None:
+        coop.drive(self._co_handle_control(msg, source), self.comm)
+
+    def _co_handle_control(self, msg: ctl.ControlMessage, source: int):
         if self.ckpt is None:
             raise ProtocolError(
                 f"rank {self.rank}: control message {msg!r} but the stack "
                 "has no checkpoint stage"
             )
-        self.ckpt.handle_control(msg, source)
+        yield from self.ckpt.co_handle_control(msg, source)
 
     def _progress(self) -> None:
         """Drain control traffic and poll the initiator (checkpoint stage)."""
+        coop.drive(self._co_progress(), self.comm)
+
+    def _co_progress(self):
         if self.ckpt is None:
             return
         t0 = perf_counter()
-        self.ckpt.progress()
+        yield from self.ckpt.co_progress()
         self._charge("checkpoint", t0)
 
     def _finalize_log(self) -> None:
         if self.ckpt is not None:
             self.ckpt.finalize_log()
 
+    def _co_finalize_log(self):
+        if self.ckpt is not None:
+            yield from self.ckpt.co_finalize_log()
+
     def _received_all_check(self) -> None:
         if self.ckpt is not None:
             self.ckpt.received_all_check()
 
+    def _co_received_all_check(self):
+        if self.ckpt is not None:
+            yield from self.ckpt.co_received_all_check()
+
     def _maybe_end_replay(self) -> None:
         if self.rep is not None:
             self.rep.maybe_end_replay()
+
+    def _co_maybe_end_replay(self):
+        if self.rep is not None:
+            yield from self.rep.co_maybe_end_replay()
 
     # ------------------------------------------------------------------ #
     # Raw-mode helpers (empty stack — the V0 pass-through).
@@ -251,11 +313,14 @@ class ProtocolPipeline:
 
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
         """Application blocking send with piggybacked protocol data."""
+        coop.drive(self.co_send(payload, dest, tag), self.comm)
+
+    def co_send(self, payload: Any, dest: int, tag: int = 0):
         if self._raw:
             self.stats.sends += 1
-            self.comm.send(payload, dest, tag)
+            yield from self._co_call(self.comm, "send", payload, dest, tag)
             return
-        self._progress()
+        yield from self._co_progress()
         self.stats.sends += 1
         for stage in self._send_observers:
             t0 = perf_counter()
@@ -263,12 +328,14 @@ class ProtocolPipeline:
             self._charge(stage.name, t0)
         if not self._protocol:
             if self.pb is None:
-                self.comm.send(payload, dest, tag)
+                yield from self._co_call(self.comm, "send", payload, dest, tag)
                 return
             t0 = perf_counter()
             wire = self.pb.blank()
             self._charge("piggyback", t0)
-            self.comm.send(payload, dest, tag, piggyback=wire)
+            yield from self._co_call(
+                self.comm, "send", payload, dest, tag, piggyback=wire
+            )
             return
         message_id = self.state.note_send(dest)
         tr = self.tracer
@@ -292,15 +359,20 @@ class ProtocolPipeline:
         t0 = perf_counter()
         wire = self.pb.encode(self.state.epoch, self.state.am_logging, message_id)
         self._charge("piggyback", t0)
-        self.comm.send(payload, dest, tag, piggyback=wire)
+        yield from self._co_call(self.comm, "send", payload, dest, tag, piggyback=wire)
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Any:
         """Nonblocking send; returns a pseudo-request (Section 5.2) on a
         staged stack, a raw request on the empty stack."""
+        return coop.drive(self.co_isend(payload, dest, tag), self.comm)
+
+    def co_isend(self, payload: Any, dest: int, tag: int = 0):
+        # The underlying isend never suspends (eager sends); the scheduling
+        # points here are the progress drain only.
         if self._raw:
             self.stats.sends += 1
             return self.comm.isend(payload, dest, tag)
-        self._progress()
+        yield from self._co_progress()
         self.stats.sends += 1
         for stage in self._send_observers:
             t0 = perf_counter()
@@ -343,13 +415,16 @@ class ProtocolPipeline:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Application blocking receive."""
+        return coop.drive(self.co_recv(source, tag), self.comm)
+
+    def co_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         if self._raw:
             self.stats.receives += 1
-            return self.comm.recv(source, tag)
-        self._progress()
+            return (yield from self._co_call(self.comm, "recv", source, tag))
+        yield from self._co_progress()
         self.stats.receives += 1
         if not self._protocol:
-            env = self.comm.recv_envelope(source, tag)
+            env = yield from self._co_recv_envelope(source, tag)
             if self.pb is not None and env.piggyback is not None:
                 # Piggyback-only variant still pays the decode cost.
                 t0 = perf_counter()
@@ -361,15 +436,19 @@ class ProtocolPipeline:
                 self._charge(stage.name, t0)
             return env.payload
         if self.replay is not None and not self.replay.matches.exhausted:
-            return self._replay_recv()
-        env = self.comm.recv_envelope(source, tag)
-        return self._classify_and_deliver(env)
+            return (yield from self._co_replay_recv())
+        env = yield from self._co_recv_envelope(source, tag)
+        return (yield from self._co_classify_and_deliver(env))
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Nonblocking receive pseudo-request (raw request on empty stack)."""
+        return coop.drive(self.co_irecv(source, tag), self.comm)
+
+    def co_irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        # Posting the receive never suspends; only the progress drain does.
         if self._raw:
             return self.comm.irecv(source, tag)
-        self._progress()
+        yield from self._co_progress()
         req = self.requests.new("irecv", source=source, tag=tag)
         if self._protocol and self.replay is not None:
             # During replay, completion is resolved through the match log at
@@ -381,11 +460,14 @@ class ProtocolPipeline:
 
     def wait(self, req: Any) -> Any:
         """Complete a pseudo-request (the MPI_Wait analogue)."""
+        return coop.drive(self.co_wait(req), self.comm)
+
+    def co_wait(self, req: Any):
         if self._raw:
             if isinstance(req, Request) and not req.completed and hasattr(req, "_desc"):
                 self.stats.receives += 1
-            return req.wait()
-        self._progress()
+            return (yield from self._co_call(req, "wait"))
+        yield from self._co_progress()
         if req.consumed:
             raise ProtocolError("wait() on an already-completed pseudo-request")
         if req.kind == "isend":
@@ -393,7 +475,7 @@ class ProtocolPipeline:
             # request completes immediately — the message is in the
             # receiver's checkpoint or its late-message log.
             self.requests.retire(req)
-            self.comm._yield_point()
+            yield from self._co_yield_point()
             return None
         # irecv:
         if req.has_payload:
@@ -409,25 +491,28 @@ class ProtocolPipeline:
                 and self.replay is not None
                 and not self.replay.matches.exhausted
             ):
-                payload = self._replay_recv()
+                payload = yield from self._co_replay_recv()
             else:
-                env = self.comm.recv_envelope(req.source, req.tag)
-                payload = self._classify_and_deliver(env)
+                env = yield from self._co_recv_envelope(req.source, req.tag)
+                payload = yield from self._co_classify_and_deliver(env)
             self.requests.retire(req)
             return payload
         self.stats.receives += 1
-        req._live.wait()
+        yield from self._co_call(req._live, "wait")
         env = req._live._desc.matched
         self.requests.retire(req)
         if not self._protocol:
             return env.payload
-        return self._classify_and_deliver(env)
+        return (yield from self._co_classify_and_deliver(env))
 
     def test(self, req: Any) -> bool:
         """Nonblocking completion check for a pseudo-request."""
+        return coop.drive(self.co_test(req), self.comm)
+
+    def co_test(self, req: Any):
         if self._raw:
             return req.test()
-        self._progress()
+        yield from self._co_progress()
         if req.kind == "isend":
             return True
         if req.has_payload:
@@ -446,19 +531,39 @@ class ProtocolPipeline:
         recv_tag: int | None = None,
     ) -> Any:
         """Combined exchange built from the pipeline's own send + recv."""
+        return coop.drive(
+            self.co_sendrecv(payload, dest, recv_source, send_tag, recv_tag),
+            self.comm,
+        )
+
+    def co_sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        recv_source: int,
+        send_tag: int = 0,
+        recv_tag: int | None = None,
+    ):
         if self._raw:
             self.stats.sends += 1
             self.stats.receives += 1
-            return self.comm.sendrecv(payload, dest, recv_source, send_tag, recv_tag)
+            return (
+                yield from self._co_call(
+                    self.comm, "sendrecv", payload, dest, recv_source, send_tag, recv_tag
+                )
+            )
         if recv_tag is None:
             recv_tag = send_tag
-        self.send(payload, dest, send_tag)
-        return self.recv(recv_source, recv_tag)
+        yield from self.co_send(payload, dest, send_tag)
+        return (yield from self.co_recv(recv_source, recv_tag))
 
     # ------------------------------------------------------------------ #
 
     def _classify_and_deliver(self, env) -> Any:
         """Figure 4's communicationEventHandler for one arrived message."""
+        return coop.drive(self._co_classify_and_deliver(env), self.comm)
+
+    def _co_classify_and_deliver(self, env):
         t0 = perf_counter()
         info = self.pb.decode(env)
         self._charge("piggyback", t0)
@@ -472,7 +577,7 @@ class ProtocolPipeline:
                 source=env.source, cls=mclass.name.lower(), mid=info.message_id,
             )
         t0 = perf_counter()
-        self.msg_log.on_message(env, info, mclass)
+        yield from self.msg_log.co_on_message(env, info, mclass)
         self._charge("message-log", t0)
         for stage in self._recv_observers:
             t0 = perf_counter()
@@ -480,10 +585,10 @@ class ProtocolPipeline:
             self._charge(stage.name, t0)
         return env.payload
 
-    def _replay_recv(self) -> Any:
+    def _co_replay_recv(self):
         """Serve one receive deterministically from the match log."""
         t0 = perf_counter()
-        payload = self.rep.serve_recv()
+        payload = yield from self.rep.co_serve_recv()
         self._charge("replay", t0)
         return payload
 
@@ -498,16 +603,19 @@ class ProtocolPipeline:
         recorded result is returned instead of re-computing, so the replayed
         execution is identical to the one peers' checkpoints observed.
         """
+        return coop.drive(self.co_nondet(compute), self.comm)
+
+    def co_nondet(self, compute: Callable[[], Any]):
         if self._raw:
             return compute()
-        self._progress()
+        yield from self._co_progress()
         if (
             self._protocol
             and self.replay is not None
             and not self.replay.nondet.exhausted
         ):
             t0 = perf_counter()
-            value = self.rep.serve_nondet()
+            value = yield from self.rep.co_serve_nondet()
             self._charge("replay", t0)
             return value
         value = compute()
@@ -538,26 +646,28 @@ class ProtocolPipeline:
     def _advance_coll_seq(self, handle_id: int) -> None:
         self.coll_seqs[handle_id] = self.coll_seqs.get(handle_id, 0) + 1
 
-    def _collective(
+    def _co_collective(
         self,
         kind: str,
-        executor: Callable[[coll_impl.P2PEndpoint], Any],
+        executor: Callable[[Any], Any],
         comm: Optional[PseudoHandle] = None,
         loggable: bool = True,
-    ) -> Any:
+    ):
         """Shared machinery for every staged collective call.
 
-        ``loggable=False`` marks barrier: never served from the result log
-        (all participants re-execute it after restart — guaranteed by the
-        epoch-alignment rule) and never recorded.
+        ``executor`` builds the generator form of the collective algorithm
+        over the handed endpoint.  ``loggable=False`` marks barrier: never
+        served from the result log (all participants re-execute it after
+        restart — guaranteed by the epoch-alignment rule) and never
+        recorded.
         """
-        self._progress()
+        yield from self._co_progress()
         self.stats.collectives += 1
         handle_id = comm.handle_id if comm is not None else WORLD_HANDLE
         if not self._protocol:
             ep = self._coll_endpoint(handle_id, 1)
             self._advance_coll_seq(handle_id)
-            return executor(ep)
+            return (yield from executor(ep))
         if (
             loggable
             and self.replay is not None
@@ -567,15 +677,17 @@ class ProtocolPipeline:
             result = self.rep.serve_collective(kind)
             self._charge("replay", t0)
             self._advance_coll_seq(handle_id)
-            self._maybe_end_replay()
+            yield from self._co_maybe_end_replay()
             return result
         # Command exchange before the data call (paper: "each data
         # MPI_Allgather is preceded by a command MPI_Allgather which sends
         # around the relevant control information").
         ctl_ep = self._coll_endpoint(handle_id, 0)
-        peer_info = coll_impl.allgather(ctl_ep, (self.state.epoch, self.state.am_logging))
+        peer_info = yield from coll_impl.co_allgather(
+            ctl_ep, (self.state.epoch, self.state.am_logging)
+        )
         data_ep = self._coll_endpoint(handle_id, 1)
-        result = executor(data_ep)
+        result = yield from executor(data_ep)
         self._advance_coll_seq(handle_id)
         if self.state.am_logging and loggable:
             my_epoch = self.state.epoch
@@ -587,7 +699,7 @@ class ProtocolPipeline:
             if ended:
                 # A same-epoch participant has stopped logging: logging has
                 # globally terminated; do not record the result.
-                self._finalize_log()
+                yield from self._co_finalize_log()
             else:
                 t0 = perf_counter()
                 self.res_log.record_collective(kind, result)
@@ -598,52 +710,114 @@ class ProtocolPipeline:
         return self._raw_comm(handle_id).rank
 
     def bcast(self, obj: Any, root: int = 0, comm: Any = None) -> Any:
+        return coop.drive(self.co_bcast(obj, root, comm), self.comm)
+
+    def co_bcast(self, obj: Any, root: int = 0, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).bcast(obj, root)
-        return self._collective("bcast", lambda ep: coll_impl.bcast(ep, obj, root), comm)
+            return (yield from self._co_call(self._resolve(comm), "bcast", obj, root))
+        return (
+            yield from self._co_collective(
+                "bcast", lambda ep: coll_impl.co_bcast(ep, obj, root), comm
+            )
+        )
 
     def reduce(self, obj: Any, op: Op, root: int = 0, comm: Any = None) -> Any:
+        return coop.drive(self.co_reduce(obj, op, root, comm), self.comm)
+
+    def co_reduce(self, obj: Any, op: Op, root: int = 0, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).reduce(obj, op, root)
-        return self._collective("reduce", lambda ep: coll_impl.reduce(ep, obj, op, root), comm)
+            return (
+                yield from self._co_call(self._resolve(comm), "reduce", obj, op, root)
+            )
+        return (
+            yield from self._co_collective(
+                "reduce", lambda ep: coll_impl.co_reduce(ep, obj, op, root), comm
+            )
+        )
 
     def allreduce(self, obj: Any, op: Op, comm: Any = None) -> Any:
+        return coop.drive(self.co_allreduce(obj, op, comm), self.comm)
+
+    def co_allreduce(self, obj: Any, op: Op, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).allreduce(obj, op)
-        return self._collective("allreduce", lambda ep: coll_impl.allreduce(ep, obj, op), comm)
+            return (
+                yield from self._co_call(self._resolve(comm), "allreduce", obj, op)
+            )
+        return (
+            yield from self._co_collective(
+                "allreduce", lambda ep: coll_impl.co_allreduce(ep, obj, op), comm
+            )
+        )
 
     def gather(self, obj: Any, root: int = 0, comm: Any = None) -> Any:
+        return coop.drive(self.co_gather(obj, root, comm), self.comm)
+
+    def co_gather(self, obj: Any, root: int = 0, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).gather(obj, root)
-        return self._collective("gather", lambda ep: coll_impl.gather(ep, obj, root), comm)
+            return (yield from self._co_call(self._resolve(comm), "gather", obj, root))
+        return (
+            yield from self._co_collective(
+                "gather", lambda ep: coll_impl.co_gather(ep, obj, root), comm
+            )
+        )
 
     def allgather(self, obj: Any, comm: Any = None) -> list[Any]:
+        return coop.drive(self.co_allgather(obj, comm), self.comm)
+
+    def co_allgather(self, obj: Any, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).allgather(obj)
-        return self._collective("allgather", lambda ep: coll_impl.allgather(ep, obj), comm)
+            return (yield from self._co_call(self._resolve(comm), "allgather", obj))
+        return (
+            yield from self._co_collective(
+                "allgather", lambda ep: coll_impl.co_allgather(ep, obj), comm
+            )
+        )
 
     def scatter(self, objs: list[Any] | None, root: int = 0, comm: Any = None) -> Any:
+        return coop.drive(self.co_scatter(objs, root, comm), self.comm)
+
+    def co_scatter(self, objs: list[Any] | None, root: int = 0, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).scatter(objs, root)
-        return self._collective("scatter", lambda ep: coll_impl.scatter(ep, objs, root), comm)
+            return (
+                yield from self._co_call(self._resolve(comm), "scatter", objs, root)
+            )
+        return (
+            yield from self._co_collective(
+                "scatter", lambda ep: coll_impl.co_scatter(ep, objs, root), comm
+            )
+        )
 
     def alltoall(self, objs: list[Any], comm: Any = None) -> list[Any]:
+        return coop.drive(self.co_alltoall(objs, comm), self.comm)
+
+    def co_alltoall(self, objs: list[Any], comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).alltoall(objs)
-        return self._collective("alltoall", lambda ep: coll_impl.alltoall(ep, objs), comm)
+            return (yield from self._co_call(self._resolve(comm), "alltoall", objs))
+        return (
+            yield from self._co_collective(
+                "alltoall", lambda ep: coll_impl.co_alltoall(ep, objs), comm
+            )
+        )
 
     def scan(self, obj: Any, op: Op, comm: Any = None) -> Any:
+        return coop.drive(self.co_scan(obj, op, comm), self.comm)
+
+    def co_scan(self, obj: Any, op: Op, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            return self._resolve(comm).scan(obj, op)
-        return self._collective("scan", lambda ep: coll_impl.scan(ep, obj, op), comm)
+            return (yield from self._co_call(self._resolve(comm), "scan", obj, op))
+        return (
+            yield from self._co_collective(
+                "scan", lambda ep: coll_impl.co_scan(ep, obj, op), comm
+            )
+        )
 
     def barrier(self, comm: Any = None) -> None:
         """MPI_Barrier with the paper's epoch-alignment rule (Section 4.5).
@@ -653,15 +827,18 @@ class ProtocolPipeline:
         in the same epoch.  If not, processes that have not yet taken their
         local checkpoints do so."
         """
+        coop.drive(self.co_barrier(comm), self.comm)
+
+    def co_barrier(self, comm: Any = None):
         if self._raw:
             self.stats.collectives += 1
-            self._resolve(comm).barrier()
+            yield from self._co_call(self._resolve(comm), "barrier")
             return
-        self._progress()
+        yield from self._co_progress()
         handle_id = comm.handle_id if comm is not None else WORLD_HANDLE
         if self._protocol and self.replay is None:
             ctl_ep = self._coll_endpoint(handle_id, 0)
-            epochs = coll_impl.allgather(ctl_ep, self.state.epoch)
+            epochs = yield from coll_impl.co_allgather(ctl_ep, self.state.epoch)
             if self.state.epoch < max(epochs) and self.ckpt is not None:
                 # The forced local checkpoint happens BEFORE this barrier's
                 # collective-sequence advance: the checkpoint's resume point
@@ -670,7 +847,7 @@ class ProtocolPipeline:
                 # not count the alignment exchange the re-execution will
                 # perform again.
                 t0 = perf_counter()
-                self.ckpt.take_local_checkpoint()
+                yield from self.ckpt.co_take_local_checkpoint()
                 self._charge("checkpoint", t0)
             self._advance_coll_seq(handle_id)
         elif self._protocol:
@@ -678,9 +855,11 @@ class ProtocolPipeline:
             # the original execution (all participants were in this epoch),
             # but the exchange itself must re-run so tags stay aligned.
             ctl_ep = self._coll_endpoint(handle_id, 0)
-            coll_impl.allgather(ctl_ep, self.state.epoch)
+            yield from coll_impl.co_allgather(ctl_ep, self.state.epoch)
             self._advance_coll_seq(handle_id)
-        self._collective("barrier", lambda ep: coll_impl.barrier(ep), comm, loggable=False)
+        yield from self._co_collective(
+            "barrier", lambda ep: coll_impl.co_barrier(ep), comm, loggable=False
+        )
 
     # ------------------------------------------------------------------ #
     # potentialCheckpoint (Figure 4).
@@ -692,13 +871,16 @@ class ProtocolPipeline:
         Returns True if a checkpoint was taken; always False on stacks
         without a checkpoint stage.
         """
+        return coop.drive(self.co_potential_checkpoint(), self.comm)
+
+    def co_potential_checkpoint(self):
         if self._raw:
             return False
-        self._progress()
+        yield from self._co_progress()
         if self.ckpt is None:
             return False
         t0 = perf_counter()
-        taken = self.ckpt.potential_checkpoint()
+        taken = yield from self.ckpt.co_potential_checkpoint()
         self._charge("checkpoint", t0)
         return taken
 
@@ -763,8 +945,11 @@ class ProtocolPipeline:
         self, color: int, key: int | None = None, parent: Any = None
     ) -> Optional[Any]:
         """Split a communicator behind a (pseudo or raw) handle (collective)."""
+        return coop.drive(self.co_comm_split(color, key, parent), self.comm)
+
+    def co_comm_split(self, color: int, key: int | None = None, parent: Any = None):
         if self._raw:
-            child = self._resolve(parent).split(color, key)
+            child = yield from self._co_call(self._resolve(parent), "split", color, key)
             if child is None:
                 return None
             return self._new_handle("comm", child)
@@ -775,7 +960,7 @@ class ProtocolPipeline:
             if replayed:
                 return handle
         parent_id = parent.handle_id if parent is not None else WORLD_HANDLE
-        raw_child = self._raw_comm(parent_id).split(color, key)
+        raw_child = yield from self._co_call(self._raw_comm(parent_id), "split", color, key)
         if raw_child is None:
             # Participation is still recorded: the split must be re-executed
             # collectively on restore even by ranks that got no child.
@@ -826,22 +1011,31 @@ class ProtocolPipeline:
             return self._resolve(handle).size
         return self._raw_comm(handle.handle_id if handle else WORLD_HANDLE).size
 
-    def _replay_executors(self) -> dict[str, Callable[..., Any]]:
+    def _co_replay_executors(self) -> dict[str, Callable[..., Any]]:
+        """Generator-form executors for the recorded-call replay at restore.
+
+        ``comm_split`` is a collective over the parent communicator, so its
+        re-execution is a scheduling point; the other creations are local.
+        """
+
         def comm_dup(parent_id: int):
             return self._raw_comm(parent_id).dup()
+            yield  # pragma: no cover -- marks this function as a generator
 
         def comm_split(parent_id: int, color: int, key: int | None):
-            return self._raw_comm(parent_id).split(color, key)
+            return (yield from self._co_call(self._raw_comm(parent_id), "split", color, key))
 
         def comm_split_undefined(parent_id: int, key: int | None):
-            self._raw_comm(parent_id).split(None, key)
+            yield from self._co_call(self._raw_comm(parent_id), "split", None, key)
             return None
 
         def op_create(name: str):
             return Op.lookup(name)
+            yield  # pragma: no cover
 
         def attach_buffer(nbytes: int):
             return None
+            yield  # pragma: no cover
 
         return {
             "comm_dup": comm_dup,
@@ -850,6 +1044,24 @@ class ProtocolPipeline:
             "op_create": op_create,
             "attach_buffer": attach_buffer,
         }
+
+    def _co_mpi_replay(self):
+        """Re-execute every recorded persistent-object call in order (the
+        generator form of :meth:`MpiStateLog.replay`)."""
+        executors = self._co_replay_executors()
+        handles = self.handles.by_id
+        for rec in self.mpi_log.records:
+            fn = executors.get(rec.fn)
+            if fn is None:
+                raise RecoveryError(f"no executor for recorded MPI call {rec.fn!r}")
+            live = yield from fn(*rec.args)
+            if rec.handle_id >= 0:
+                handle = handles.get(rec.handle_id)
+                if handle is None:
+                    raise RecoveryError(
+                        f"recorded call {rec.fn!r} targets unknown handle {rec.handle_id}"
+                    )
+                handle._live = live
 
     # ------------------------------------------------------------------ #
     # Recovery (restart from a committed checkpoint).
@@ -863,6 +1075,9 @@ class ProtocolPipeline:
         exchange (each receiver tells each sender which early-message IDs to
         suppress) and arms the deterministic replay engine.
         """
+        coop.drive(self.co_restore_from(data, logs), self.comm)
+
+    def co_restore_from(self, data: CheckpointData, logs: EpochLogs):
         if self.rep is None:
             raise RecoveryError(
                 f"rank {self.rank}: restore_from on a stack without a replay stage"
@@ -875,7 +1090,7 @@ class ProtocolPipeline:
         self.coll_seqs = dict(data.coll_seqs)
         self.mpi_log = copy.deepcopy(data.mpi_records) if data.mpi_records else MpiStateLog()
         self.handles.restore([copy.deepcopy(h) for h in data.handles])
-        self.mpi_log.replay(self._replay_executors(), self.handles.by_id)
+        yield from self._co_mpi_replay()
         # Arm the creation cursor: a from-the-top restart will re-execute
         # these recorded creations and must be handed the restored handles.
         self._creation_cursor = 0
@@ -889,7 +1104,7 @@ class ProtocolPipeline:
             tuple(data.early_ids.get(sender, ())) for sender in range(self.nprocs)
         ]
         ep = _LayerCollEndpoint(self.comm, RESTORE_BASE)
-        incoming = coll_impl.alltoall(ep, outgoing)
+        incoming = yield from coll_impl.co_alltoall(ep, outgoing)
         self.suppress = {
             dest: set(ids) for dest, ids in enumerate(incoming) if ids
         }
@@ -905,7 +1120,7 @@ class ProtocolPipeline:
                 "proto", "restore", rank=self.rank, epoch=self.state.epoch,
                 late=len(logs.late), matches=len(logs.matches),
             )
-        self._maybe_end_replay()
+        yield from self._co_maybe_end_replay()
 
     @property
     def in_replay(self) -> bool:
@@ -945,3 +1160,19 @@ class _LayerCollEndpoint:
 
     def coll_recv(self, source: int, tag: int) -> Any:
         return self._raw.coll_recv(source, tag)
+
+    # Generator twins (cooperative core); fall back to the synchronous
+    # surface for comm doubles, which never suspend.
+
+    def co_coll_send(self, dest: int, payload: Any, tag: int):
+        co = getattr(self._raw, "co_coll_send", None)
+        if co is None:
+            self._raw.coll_send(dest, payload, tag)
+        else:
+            yield from co(dest, payload, tag)
+
+    def co_coll_recv(self, source: int, tag: int):
+        co = getattr(self._raw, "co_coll_recv", None)
+        if co is None:
+            return self._raw.coll_recv(source, tag)
+        return (yield from co(source, tag))

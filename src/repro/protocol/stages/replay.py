@@ -18,6 +18,7 @@ from repro.errors import RecoveryError
 from repro.protocol import control as ctl
 from repro.protocol.logs import CollectiveRecord, MatchRecord
 from repro.protocol.stages.base import ProtocolStage
+from repro.simmpi import coop
 
 
 class ReplayStage(ProtocolStage):
@@ -35,6 +36,9 @@ class ReplayStage(ProtocolStage):
 
     def serve_recv(self) -> Any:
         """Serve one receive deterministically from the match log."""
+        return coop.drive(self.co_serve_recv(), self.core.comm)
+
+    def co_serve_recv(self):
         core = self.core
         assert core.replay is not None
         rec: MatchRecord = core.replay.matches.next()
@@ -47,7 +51,7 @@ class ReplayStage(ProtocolStage):
                     f"({rec.source}, {rec.message_id}) absent from late log"
                 )
             core.stats.replayed_late += 1
-            self.maybe_end_replay()
+            yield from self.co_maybe_end_replay()
             return late.payload
         # Intra-epoch message: the sender is re-executing deterministically
         # and will re-post it with the same messageID; wait for exactly it.
@@ -59,20 +63,23 @@ class ReplayStage(ProtocolStage):
             info = core.codec.decode(env.piggyback, core.state.epoch)
             return info.message_id == wanted_id
 
-        env = core.comm.recv_envelope(rec.source, rec.tag, predicate=_matches)
+        env = yield from core._co_recv_envelope(rec.source, rec.tag, predicate=_matches)
         core.state.current_receive_count[rec.source] = (
             core.state.current_receive_count.get(rec.source, 0) + 1
         )
-        self.maybe_end_replay()
+        yield from self.co_maybe_end_replay()
         return env.payload
 
     # -- nondet / collectives ------------------------------------------- #
 
     def serve_nondet(self) -> Any:
+        return coop.drive(self.co_serve_nondet(), self.core.comm)
+
+    def co_serve_nondet(self):
         core = self.core
         value = core.replay.nondet.next()
         core.stats.replayed_nondet += 1
-        self.maybe_end_replay()
+        yield from self.co_maybe_end_replay()
         return value
 
     def serve_collective(self, kind: str) -> Any:
@@ -88,6 +95,9 @@ class ReplayStage(ProtocolStage):
     # -- lifecycle ------------------------------------------------------- #
 
     def maybe_end_replay(self) -> None:
+        coop.drive(self.co_maybe_end_replay(), self.core.comm)
+
+    def co_maybe_end_replay(self):
         core = self.core
         if core.replay is None or core._replay_done_sent:
             return
@@ -102,7 +112,7 @@ class ReplayStage(ProtocolStage):
                     replayed_nondet=core.stats.replayed_nondet,
                     replayed_collectives=core.stats.replayed_collectives,
                 )
-            core._send_control(
+            yield from core._co_send_control(
                 ctl.ReplayDone(epoch=core.state.epoch, sender=core.rank),
                 self.config.initiator_rank,
             )

@@ -98,6 +98,14 @@ class RunConfig:
     #: … and the content-addressing granularity.
     ckpt_chunk_size: int = 65536
     max_restarts: int = 16
+    #: Execution core for the simulated ranks: ``"coop"`` (default) runs
+    #: every rank as a resumable generator on one thread; ``"threads"``
+    #: keeps the historical thread-per-rank baton passing.  Outcomes are
+    #: bit-identical; coop avoids per-switch thread handoffs and scales to
+    #: thousands of ranks.  Applications whose ``main`` is plain
+    #: synchronous code (no generator form, no precompiled unit) fall back
+    #: to threads automatically.
+    sim_core: str = "coop"
     sched_policy: str = "random"
     ordering: str = "per_tag_fifo"
     base_delay: float = 5e-6
@@ -122,6 +130,10 @@ class RunConfig:
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
             raise ConfigError("max_restarts must be >= 0")
+        if self.sim_core not in ("threads", "coop"):
+            raise ConfigError(
+                f"sim_core must be 'threads' or 'coop', got {self.sim_core!r}"
+            )
         if self.check not in ("off", "warn", "error"):
             raise ConfigError(
                 f"check must be 'off', 'warn' or 'error', got {self.check!r}"

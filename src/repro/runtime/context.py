@@ -118,3 +118,25 @@ class C3AppContext:
     def random(self) -> float:
         """Protocol-logged uniform variate from the per-rank stream."""
         return self.nondet(self._rank_ctx.rng.random)
+
+    # -- generator twins (cooperative core) ----------------------------- #
+    #
+    # Used by generator application mains and by the precompiler's
+    # cooperative code objects; CommLike implementations without a co_*
+    # surface (hand-written doubles) are called synchronously, which is
+    # correct because such stand-ins never suspend.
+
+    def co_potential_checkpoint(self):
+        co = getattr(self.mpi, "co_potential_checkpoint", None)
+        if co is None:
+            return self.mpi.potential_checkpoint()
+        return (yield from co())
+
+    def co_nondet(self, compute: Callable[[], Any]):
+        co = getattr(self.mpi, "co_nondet", None)
+        if co is None:
+            return self.mpi.nondet(compute)
+        return (yield from co(compute))
+
+    def co_random(self):
+        return (yield from self.co_nondet(self._rank_ctx.rng.random))

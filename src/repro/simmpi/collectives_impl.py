@@ -24,6 +24,16 @@ Algorithms (standard HPC implementations):
 Every collective call instance draws a fresh tag block from the endpoint so
 that rounds of different collectives can never be confused even under the
 network's ``random`` ordering mode.
+
+Each algorithm exists once, as a ``co_*`` generator whose sends/receives
+are ``yield from`` calls on the endpoint's ``co_coll_send``/``co_coll_recv``
+— the cooperative simulator core suspends the whole rank there.  The
+synchronous entry points (``bcast(ep, ...)`` etc.) wrap the endpoint in
+:class:`_SyncView`, whose ``co_*`` methods call the endpoint's plain
+``coll_send``/``coll_recv`` and never yield, then run the algorithm with
+:func:`~repro.simmpi.coop.run_inline` — on a real communicator under the
+threaded core the blocking happens inside ``coll_recv`` exactly as it
+always did, and test endpoints need only implement the sync interface.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from __future__ import annotations
 from typing import Any, Protocol
 
 from repro.errors import SimMPIError
+from repro.simmpi.coop import run_inline
 from repro.simmpi.op import Op, reduce_sequence
 
 #: Rounds per collective instance reserved in the tag space.
@@ -63,13 +74,46 @@ class P2PEndpoint(Protocol):
         ...
 
 
+class _SyncView:
+    """Adapter presenting a synchronous endpoint through the ``co_*`` shape.
+
+    Its generators complete without yielding, so an algorithm driven over
+    it runs inline — the endpoint's own ``coll_recv`` does any blocking.
+    """
+
+    __slots__ = ("_ep",)
+
+    def __init__(self, ep: P2PEndpoint) -> None:
+        self._ep = ep
+
+    @property
+    def coll_rank(self) -> int:
+        return self._ep.coll_rank
+
+    @property
+    def coll_size(self) -> int:
+        return self._ep.coll_size
+
+    def coll_next_tag_block(self) -> int:
+        return self._ep.coll_next_tag_block()
+
+    def co_coll_send(self, dest: int, payload: Any, tag: int):
+        self._ep.coll_send(dest, payload, tag)
+        return
+        yield  # pragma: no cover - generator marker, unreachable
+
+    def co_coll_recv(self, source: int, tag: int):
+        return self._ep.coll_recv(source, tag)
+        yield  # pragma: no cover - generator marker, unreachable
+
+
 def _round_tag(base: int, rnd: int) -> int:
     if rnd >= _TAG_STRIDE:
         raise SimMPIError(f"collective exceeded {_TAG_STRIDE} rounds")
     return base - rnd
 
 
-def bcast(ep: P2PEndpoint, obj: Any, root: int = 0) -> Any:
+def co_bcast(ep, obj: Any, root: int = 0):
     """Binomial-tree broadcast; returns the broadcast object on every rank."""
     size, rank = ep.coll_size, ep.coll_rank
     base = ep.coll_next_tag_block()
@@ -86,7 +130,7 @@ def bcast(ep: P2PEndpoint, obj: Any, root: int = 0) -> Any:
     while mask < size:
         if vrank & mask:
             src = (vrank - mask + root) % size
-            received = ep.coll_recv(src, tag)
+            received = yield from ep.co_coll_recv(src, tag)
             break
         mask <<= 1
     # Send phase: forward to children in decreasing-mask order.
@@ -94,12 +138,16 @@ def bcast(ep: P2PEndpoint, obj: Any, root: int = 0) -> Any:
     while mask > 0:
         if vrank + mask < size:
             dst = (vrank + mask + root) % size
-            ep.coll_send(dst, received, tag)
+            yield from ep.co_coll_send(dst, received, tag)
         mask >>= 1
     return received
 
 
-def reduce(ep: P2PEndpoint, obj: Any, op: Op, root: int = 0) -> Any:
+def bcast(ep: P2PEndpoint, obj: Any, root: int = 0) -> Any:
+    return run_inline(co_bcast(_SyncView(ep), obj, root))
+
+
+def co_reduce(ep, obj: Any, op: Op, root: int = 0):
     """Gather-then-fold reduce preserving rank order; result only at root.
 
     A linear gather keeps the fold order identical to rank order, which makes
@@ -115,13 +163,17 @@ def reduce(ep: P2PEndpoint, obj: Any, op: Op, root: int = 0) -> Any:
         parts[root] = obj
         for src in range(size):
             if src != root:
-                parts[src] = ep.coll_recv(src, _round_tag(base, 0))
+                parts[src] = yield from ep.co_coll_recv(src, _round_tag(base, 0))
         return reduce_sequence(op, parts)
-    ep.coll_send(root, obj, _round_tag(base, 0))
+    yield from ep.co_coll_send(root, obj, _round_tag(base, 0))
     return None
 
 
-def allreduce(ep: P2PEndpoint, obj: Any, op: Op) -> Any:
+def reduce(ep: P2PEndpoint, obj: Any, op: Op, root: int = 0) -> Any:
+    return run_inline(co_reduce(_SyncView(ep), obj, op, root))
+
+
+def co_allreduce(ep, obj: Any, op: Op):
     """Recursive-doubling allreduce (butterfly) with non-power-of-two fold."""
     size, rank = ep.coll_size, ep.coll_rank
     base = ep.coll_next_tag_block()
@@ -137,10 +189,10 @@ def allreduce(ep: P2PEndpoint, obj: Any, op: Op) -> Any:
     # Fold phase: ranks [0, 2*rem) pair up so that odd ones drop out.
     if rank < 2 * rem:
         if rank % 2 == 0:
-            ep.coll_send(rank + 1, value, _round_tag(base, rnd))
+            yield from ep.co_coll_send(rank + 1, value, _round_tag(base, rnd))
             newrank = -1
         else:
-            other = ep.coll_recv(rank - 1, _round_tag(base, rnd))
+            other = yield from ep.co_coll_recv(rank - 1, _round_tag(base, rnd))
             # Fold in rank order: lower rank's value on the left.
             value = reduce_sequence(op, [other, value])
             newrank = rank // 2
@@ -153,8 +205,8 @@ def allreduce(ep: P2PEndpoint, obj: Any, op: Op) -> Any:
         while mask < pof2:
             partner_new = newrank ^ mask
             partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
-            ep.coll_send(partner, value, _round_tag(base, rnd))
-            other = ep.coll_recv(partner, _round_tag(base, rnd))
+            yield from ep.co_coll_send(partner, value, _round_tag(base, rnd))
+            other = yield from ep.co_coll_recv(partner, _round_tag(base, rnd))
             if partner_new < newrank:
                 value = reduce_sequence(op, [other, value])
             else:
@@ -166,13 +218,17 @@ def allreduce(ep: P2PEndpoint, obj: Any, op: Op) -> Any:
     # Expand phase: survivors hand the result back to folded-out ranks.
     if rank < 2 * rem:
         if rank % 2 == 1:
-            ep.coll_send(rank - 1, value, _round_tag(base, rnd))
+            yield from ep.co_coll_send(rank - 1, value, _round_tag(base, rnd))
         else:
-            value = ep.coll_recv(rank + 1, _round_tag(base, rnd))
+            value = yield from ep.co_coll_recv(rank + 1, _round_tag(base, rnd))
     return value
 
 
-def gather(ep: P2PEndpoint, obj: Any, root: int = 0) -> list[Any] | None:
+def allreduce(ep: P2PEndpoint, obj: Any, op: Op) -> Any:
+    return run_inline(co_allreduce(_SyncView(ep), obj, op))
+
+
+def co_gather(ep, obj: Any, root: int = 0):
     """Linear gather; returns the list of contributions at root, else None."""
     size, rank = ep.coll_size, ep.coll_rank
     base = ep.coll_next_tag_block()
@@ -181,13 +237,17 @@ def gather(ep: P2PEndpoint, obj: Any, root: int = 0) -> list[Any] | None:
         out[root] = obj
         for src in range(size):
             if src != root:
-                out[src] = ep.coll_recv(src, _round_tag(base, 0))
+                out[src] = yield from ep.co_coll_recv(src, _round_tag(base, 0))
         return out
-    ep.coll_send(root, obj, _round_tag(base, 0))
+    yield from ep.co_coll_send(root, obj, _round_tag(base, 0))
     return None
 
 
-def allgather(ep: P2PEndpoint, obj: Any) -> list[Any]:
+def gather(ep: P2PEndpoint, obj: Any, root: int = 0) -> list[Any] | None:
+    return run_inline(co_gather(_SyncView(ep), obj, root))
+
+
+def co_allgather(ep, obj: Any):
     """Allgather; returns the list of all contributions on every rank.
 
     Uses recursive doubling (butterfly) when the size is a power of two —
@@ -210,8 +270,8 @@ def allgather(ep: P2PEndpoint, obj: Any) -> list[Any]:
                 i: result[i]
                 for i in range(block_start, block_start + mask)
             }
-            ep.coll_send(partner, chunk, _round_tag(base, rnd))
-            incoming = ep.coll_recv(partner, _round_tag(base, rnd))
+            yield from ep.co_coll_send(partner, chunk, _round_tag(base, rnd))
+            incoming = yield from ep.co_coll_recv(partner, _round_tag(base, rnd))
             for i, v in incoming.items():
                 result[i] = v
             mask <<= 1
@@ -222,14 +282,20 @@ def allgather(ep: P2PEndpoint, obj: Any) -> list[Any]:
     left = (rank - 1) % size
     send_idx = rank
     for rnd in range(size - 1):
-        ep.coll_send(right, (send_idx, result[send_idx]), _round_tag(base, rnd))
-        idx, val = ep.coll_recv(left, _round_tag(base, rnd))
+        yield from ep.co_coll_send(
+            right, (send_idx, result[send_idx]), _round_tag(base, rnd)
+        )
+        idx, val = yield from ep.co_coll_recv(left, _round_tag(base, rnd))
         result[idx] = val
         send_idx = idx
     return result
 
 
-def scatter(ep: P2PEndpoint, objs: list[Any] | None, root: int = 0) -> Any:
+def allgather(ep: P2PEndpoint, obj: Any) -> list[Any]:
+    return run_inline(co_allgather(_SyncView(ep), obj))
+
+
+def co_scatter(ep, objs: list[Any] | None, root: int = 0):
     """Linear scatter from root; returns this rank's element."""
     size, rank = ep.coll_size, ep.coll_rank
     base = ep.coll_next_tag_block()
@@ -240,12 +306,16 @@ def scatter(ep: P2PEndpoint, objs: list[Any] | None, root: int = 0) -> Any:
             )
         for dst in range(size):
             if dst != root:
-                ep.coll_send(dst, objs[dst], _round_tag(base, 0))
+                yield from ep.co_coll_send(dst, objs[dst], _round_tag(base, 0))
         return objs[root]
-    return ep.coll_recv(root, _round_tag(base, 0))
+    return (yield from ep.co_coll_recv(root, _round_tag(base, 0)))
 
 
-def alltoall(ep: P2PEndpoint, objs: list[Any]) -> list[Any]:
+def scatter(ep: P2PEndpoint, objs: list[Any] | None, root: int = 0) -> Any:
+    return run_inline(co_scatter(_SyncView(ep), objs, root))
+
+
+def co_alltoall(ep, objs: list[Any]):
     """Pairwise-exchange all-to-all; ``objs[d]`` goes to rank ``d``."""
     size, rank = ep.coll_size, ep.coll_rank
     base = ep.coll_next_tag_block()
@@ -258,18 +328,30 @@ def alltoall(ep: P2PEndpoint, objs: list[Any]) -> list[Any]:
     if size & (size - 1) == 0:
         for step in range(1, size):
             partner = rank ^ step
-            ep.coll_send(partner, objs[partner], _round_tag(base, step % _TAG_STRIDE))
-            result[partner] = ep.coll_recv(partner, _round_tag(base, step % _TAG_STRIDE))
+            yield from ep.co_coll_send(
+                partner, objs[partner], _round_tag(base, step % _TAG_STRIDE)
+            )
+            result[partner] = yield from ep.co_coll_recv(
+                partner, _round_tag(base, step % _TAG_STRIDE)
+            )
     else:
         for step in range(1, size):
             send_to = (rank + step) % size
             recv_from = (rank - step) % size
-            ep.coll_send(send_to, objs[send_to], _round_tag(base, step % _TAG_STRIDE))
-            result[recv_from] = ep.coll_recv(recv_from, _round_tag(base, step % _TAG_STRIDE))
+            yield from ep.co_coll_send(
+                send_to, objs[send_to], _round_tag(base, step % _TAG_STRIDE)
+            )
+            result[recv_from] = yield from ep.co_coll_recv(
+                recv_from, _round_tag(base, step % _TAG_STRIDE)
+            )
     return result
 
 
-def barrier(ep: P2PEndpoint) -> None:
+def alltoall(ep: P2PEndpoint, objs: list[Any]) -> list[Any]:
+    return run_inline(co_alltoall(_SyncView(ep), objs))
+
+
+def co_barrier(ep):
     """Dissemination barrier: ceil(log2(size)) rounds of token exchange."""
     size, rank = ep.coll_size, ep.coll_rank
     base = ep.coll_next_tag_block()
@@ -280,20 +362,28 @@ def barrier(ep: P2PEndpoint) -> None:
     while mask < size:
         dst = (rank + mask) % size
         src = (rank - mask) % size
-        ep.coll_send(dst, None, _round_tag(base, rnd))
-        ep.coll_recv(src, _round_tag(base, rnd))
+        yield from ep.co_coll_send(dst, None, _round_tag(base, rnd))
+        yield from ep.co_coll_recv(src, _round_tag(base, rnd))
         mask <<= 1
         rnd += 1
 
 
-def scan(ep: P2PEndpoint, obj: Any, op: Op) -> Any:
+def barrier(ep: P2PEndpoint) -> None:
+    run_inline(co_barrier(_SyncView(ep)))
+
+
+def co_scan(ep, obj: Any, op: Op):
     """Inclusive prefix scan (linear chain)."""
     size, rank = ep.coll_size, ep.coll_rank
     base = ep.coll_next_tag_block()
     value = obj
     if rank > 0:
-        prefix = ep.coll_recv(rank - 1, _round_tag(base, 0))
+        prefix = yield from ep.co_coll_recv(rank - 1, _round_tag(base, 0))
         value = reduce_sequence(op, [prefix, value])
     if rank + 1 < size:
-        ep.coll_send(rank + 1, value, _round_tag(base, 0))
+        yield from ep.co_coll_send(rank + 1, value, _round_tag(base, 0))
     return value
+
+
+def scan(ep: P2PEndpoint, obj: Any, op: Op) -> Any:
+    return run_inline(co_scan(_SyncView(ep), obj, op))

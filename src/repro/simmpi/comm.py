@@ -41,6 +41,9 @@ class Comm:
         self.proc = proc
         self.group = group
         self.context = context
+        #: The simulation clock, cached: every send/recv charges it.
+        self._clock = sim.clock
+        self._network = sim.network
         self._coll_seq = 0
         self._child_seq = 0
         self.last_status: Optional[Status] = None
@@ -78,8 +81,14 @@ class Comm:
     def _yield_point(self) -> None:
         self.sim.scheduler.yield_point(self.proc)
 
+    def co_yield_point(self):
+        yield from self.sim.scheduler.co_yield_point(self.proc)
+
     def _block_on_recv(self, desc: RecvDescriptor) -> None:
         self.sim.scheduler.block_on_recv(self.proc, desc)
+
+    def _co_block_on_recv(self, desc: RecvDescriptor):
+        yield from self.sim.scheduler.co_block_on_recv(self.proc, desc)
 
     def _cancel_recv(self, desc: RecvDescriptor) -> bool:
         return self.proc.mailbox.cancel(desc)
@@ -101,8 +110,9 @@ class Comm:
             payload=payload,
             piggyback=piggyback,
         )
-        self.sim.clock.charge(self.sim.clock.cost.message_cost(env.nbytes))
-        self.sim.network.post(env, self.sim.clock.now)
+        clock = self._clock
+        clock.charge(clock.cost.message_cost(env.nbytes))
+        self._network.post(env, clock.now)
         return env
 
     # ------------------------------------------------------------------ #
@@ -149,11 +159,71 @@ class Comm:
             self._yield_point()
         env = desc.matched
         assert env is not None
-        self.sim.clock.charge(self.sim.clock.cost.step)
+        self._clock.charge(self._clock.cost.step)
         self.last_status = Status(
             source=self._local(env.source), tag=env.tag, nbytes=env.nbytes
         )
         return env
+
+    # -- generator twins (cooperative core) ----------------------------- #
+    #
+    # Same bodies as the synchronous calls above with each scheduling
+    # point expressed as a yield; the suspension-free calls (``isend``,
+    # ``irecv``, ``iprobe``, ``take_matching``, ``dup``) have no twins.
+
+    def co_send(self, payload: Any, dest: int, tag: int = 0, piggyback: Any = None):
+        self._check_send_args(dest, tag)
+        self._post_envelope(self._world(dest), payload, tag, piggyback)
+        yield from self.sim.scheduler.co_yield_point(self.proc)
+
+    def co_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        env = yield from self.co_recv_envelope(source, tag)
+        return env.payload
+
+    def co_recv_envelope(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        predicate: Optional[Callable[[Envelope], bool]] = None,
+    ):
+        desc = RecvDescriptor(self._world(source), tag, self.context, predicate)
+        self.proc.mailbox.post(desc)
+        if desc.matched is None:
+            yield from self.sim.scheduler.co_block_on_recv(self.proc, desc)
+        else:
+            # Matching an already-queued message is still a scheduling point;
+            # without it, tight recv loops would starve other ranks.
+            yield from self.sim.scheduler.co_yield_point(self.proc)
+        env = desc.matched
+        assert env is not None
+        self._clock.charge(self._clock.cost.step)
+        self.last_status = Status(
+            source=self._local(env.source), tag=env.tag, nbytes=env.nbytes
+        )
+        return env
+
+    def co_sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        recv_source: int,
+        send_tag: int = 0,
+        recv_tag: int | None = None,
+    ):
+        if recv_tag is None:
+            recv_tag = send_tag
+        self._check_send_args(dest, send_tag)
+        self._post_envelope(self._world(dest), payload, send_tag)
+        return (yield from self.co_recv(recv_source, recv_tag))
+
+    def co_probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        while True:
+            env = self.proc.mailbox.probe(self._world(source), tag, self.context)
+            if env is not None:
+                return Status(
+                    source=self._local(env.source), tag=env.tag, nbytes=env.nbytes
+                )
+            yield from self.sim.scheduler.co_yield_point(self.proc)
 
     def isend(self, payload: Any, dest: int, tag: int = 0, piggyback: Any = None) -> Request:
         """Nonblocking send; the returned request is already complete."""
@@ -235,7 +305,22 @@ class Comm:
         self.proc.mailbox.post(desc)
         if desc.matched is None:
             self._block_on_recv(desc)
-        self.sim.clock.charge(self.sim.clock.cost.step)
+        self._clock.charge(self._clock.cost.step)
+        return desc.matched.payload
+
+    def co_coll_send(self, dest: int, payload: Any, tag: int):
+        self._post_envelope(self._world(dest), payload, tag)
+        yield from self.sim.scheduler.co_yield_point(self.proc)
+
+    def co_coll_recv(self, source: int, tag: int):
+        desc = RecvDescriptor(self._world(source), tag, self.context)
+        self.proc.mailbox.post(desc)
+        if desc.matched is None:
+            # Note the asymmetry with co_recv_envelope: an already-matched
+            # collective receive is not a scheduling point (parity with the
+            # synchronous path above).
+            yield from self.sim.scheduler.co_block_on_recv(self.proc, desc)
+        self._clock.charge(self._clock.cost.step)
         return desc.matched.payload
 
     # ------------------------------------------------------------------ #
@@ -269,6 +354,35 @@ class Comm:
     def scan(self, obj: Any, op: Op) -> Any:
         return coll.scan(self, obj, op)
 
+    # -- generator twins of the collectives ----------------------------- #
+
+    def co_bcast(self, obj: Any, root: int = 0):
+        return (yield from coll.co_bcast(self, obj, root))
+
+    def co_reduce(self, obj: Any, op: Op, root: int = 0):
+        return (yield from coll.co_reduce(self, obj, op, root))
+
+    def co_allreduce(self, obj: Any, op: Op):
+        return (yield from coll.co_allreduce(self, obj, op))
+
+    def co_gather(self, obj: Any, root: int = 0):
+        return (yield from coll.co_gather(self, obj, root))
+
+    def co_allgather(self, obj: Any):
+        return (yield from coll.co_allgather(self, obj))
+
+    def co_scatter(self, objs: list[Any] | None, root: int = 0):
+        return (yield from coll.co_scatter(self, objs, root))
+
+    def co_alltoall(self, objs: list[Any]):
+        return (yield from coll.co_alltoall(self, objs))
+
+    def co_barrier(self):
+        yield from coll.co_barrier(self)
+
+    def co_scan(self, obj: Any, op: Op):
+        return (yield from coll.co_scan(self, obj, op))
+
     # ------------------------------------------------------------------ #
     # Communicator construction.
     # ------------------------------------------------------------------ #
@@ -288,6 +402,15 @@ class Comm:
         if key is None:
             key = self.rank
         triples = self.allgather((color, key, self.rank))
+        return self._split_from_triples(triples, color)
+
+    def co_split(self, color: int, key: int | None = None):
+        if key is None:
+            key = self.rank
+        triples = yield from self.co_allgather((color, key, self.rank))
+        return self._split_from_triples(triples, color)
+
+    def _split_from_triples(self, triples: list[Any], color: int) -> Optional["Comm"]:
         child_seq = self._child_seq
         self._child_seq += 1
         if color is None:

@@ -31,6 +31,13 @@ def sizeof(payload: object) -> int:
     their length; scalars report their native width; everything else falls
     back to the pickle length (an upper bound on a reasonable encoding).
     """
+    if type(payload) is int:
+        # Exact-type fast path: plain ints are the dominant payload on
+        # the per-message hot path (protocol control words, benchmark
+        # rings), and the isinstance chain below costs more than the
+        # answer.  ``bool`` is not ``int`` under ``type()``, so it still
+        # reaches its 1-byte case.
+        return 8
     if payload is None:
         return 0
     if isinstance(payload, np.ndarray):

@@ -89,6 +89,10 @@ class HeartbeatFailureDetector:
     def is_suspected(self, rank: int) -> bool:
         return rank in self._suspected
 
+    def last_heard(self, rank: int) -> float:
+        """Latest recorded liveness evidence for ``rank``."""
+        return self._last_heard.get(rank, 0.0)
+
     def detection_latency(self, rank: int, true_death_time: float) -> float | None:
         """Observed latency between a death and its suspicion (for tests)."""
         event = self._suspected.get(rank)

@@ -21,7 +21,6 @@ from it.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import SimMPIError
@@ -65,8 +64,12 @@ class Network:
         self.base_delay = base_delay
         self.jitter = jitter
         self.ordering = ordering
+        #: Ordering discipline resolved to flags once; ``post`` runs per
+        #: message and string-compares there are measurable.
+        self._order_per_tag = ordering == "per_tag_fifo"
+        self._order_fifo = ordering == "fifo"
         self.stats = NetworkStats()
-        self._seq = itertools.count()
+        self._seq = 0
         self._heap: list[tuple[float, int, Envelope]] = []
         # Latest scheduled delivery time per ordering key, used to enforce
         # the chosen non-overtaking discipline.
@@ -89,13 +92,19 @@ class Network:
         if env.source in self._dead:
             self.stats.dropped_dead_source += 1
             return
-        env.seq = next(self._seq)
+        env.seq = seq = self._seq
+        self._seq = seq + 1
         env.send_time = now
         delay = self.base_delay
         if self.jitter > 0:
             delay += self.rng.exponential(self.jitter)
         deliver = now + delay
-        key = self._ordering_key(env)
+        if self._order_per_tag:
+            key = (env.source, env.dest, env.tag, env.context)
+        elif self._order_fifo:
+            key = (env.source, env.dest)
+        else:
+            key = None
         if key is not None:
             floor = self._last_delivery.get(key, 0.0)
             if deliver <= floor:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 import threading
+from bisect import bisect_left, insort
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.simmpi.mailbox import Mailbox, RecvDescriptor
@@ -27,6 +28,12 @@ class ProcState(enum.Enum):
     DONE = "done"          # main returned normally
     DEAD = "dead"          # stopping fault injected
     ERRORED = "errored"    # main raised an application exception
+
+
+# Tuple, not frozenset: ``in`` over a 3-tuple of enum members is identity
+# comparisons in C, while a set probe routes through Enum.__hash__ (a
+# Python-level call) — and ``alive`` runs once per scheduling step.
+_FINISHED_STATES = (ProcState.DONE, ProcState.DEAD, ProcState.ERRORED)
 
 
 class BlockInfo:
@@ -53,13 +60,20 @@ class Proc:
         self.sim = sim
         self.rank = rank
         self.main = main
-        self.state = ProcState.NEW
+        self._state = ProcState.NEW
         self.mailbox = Mailbox(rank)
         #: Private baton gate: set by the scheduler to grant this rank a
         #: slice, cleared by the rank on wake.  Being per-process, a grant
         #: wakes exactly this thread (no shared-condition thundering herd).
         self.run_gate = threading.Event()
         self.thread: Optional[threading.Thread] = None
+        #: Cooperative core: the rank's resumable generator (None under the
+        #: threaded core — the scheduler dispatches on this being set).
+        self.task: Any = None
+        #: Per-rank slot for the precompiler's active checkpoint runtime;
+        #: under the coop core all ranks share one OS thread, so the
+        #: historical thread-local cannot distinguish them.
+        self.c3_runtime: Any = None
         self.kill_flag = False
         self.block_info: Optional[BlockInfo] = None
         self.result: Any = None
@@ -70,12 +84,36 @@ class Proc:
         self.wall_seconds = 0.0
 
     @property
+    def state(self) -> ProcState:
+        return self._state
+
+    @state.setter
+    def state(self, value: ProcState) -> None:
+        """State transition; keeps the simulator's runnable index current.
+
+        Every transition site in the codebase assigns ``proc.state``, so
+        routing the runnable-set bookkeeping through this setter lets the
+        scheduler loop read a maintained rank-ordered list instead of
+        rescanning all procs each step — the scan was O(nprocs) per
+        scheduling point and dominated large-rank-count runs.
+        """
+        old = self._state
+        if value is old:
+            return
+        self._state = value
+        if value is ProcState.RUNNABLE:
+            insort(self.sim._runnable_ranks, self.rank)
+        elif old is ProcState.RUNNABLE:
+            ranks = self.sim._runnable_ranks
+            ranks.pop(bisect_left(ranks, self.rank))
+
+    @property
     def alive(self) -> bool:
-        return self.state not in (ProcState.DONE, ProcState.DEAD, ProcState.ERRORED)
+        return self._state not in _FINISHED_STATES
 
     @property
     def finished(self) -> bool:
-        return self.state in (ProcState.DONE, ProcState.DEAD, ProcState.ERRORED)
+        return self._state in _FINISHED_STATES
 
     def describe(self) -> str:
         base = f"rank {self.rank}: {self.state.value}"

@@ -61,6 +61,10 @@ class SendRequest(Request):
         self._comm._yield_point()
         return None
 
+    def co_wait(self):
+        yield from self._comm.co_yield_point()
+        return None
+
 
 class RecvRequest(Request):
     """Handle for a posted nonblocking receive."""
@@ -86,6 +90,13 @@ class RecvRequest(Request):
         self._harvest()
         while not self._done:
             self._comm._block_on_recv(self._desc)
+            self._harvest()
+        return self._payload
+
+    def co_wait(self):
+        self._harvest()
+        while not self._done:
+            yield from self._comm._co_block_on_recv(self._desc)
             self._harvest()
         return self._payload
 

@@ -41,9 +41,11 @@ from __future__ import annotations
 
 import threading
 import time as _time
+from bisect import bisect_left
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigError, DeadlockError, ProcessKilled
+from repro.errors import ConfigError, DeadlockError, ProcessKilled, SimMPIError
+from repro.simmpi import coop
 from repro.simmpi.mailbox import RecvDescriptor
 from repro.simmpi.process import BlockInfo, Proc, ProcState
 from repro.util.rng import RngStream
@@ -62,10 +64,17 @@ class Scheduler:
             raise ConfigError(f"unknown scheduling policy {policy!r}; expected {POLICIES}")
         self.sim = sim
         self.policy = policy
+        self._policy_is_rr = policy == "round_robin"
         #: Optional repro.trace recorder, taken from the simulator at
         #: construction (the simulator binds its clock first).
         self.tracer = getattr(sim, "tracer", None)
+        #: The simulation clock, cached: ``grant`` charges it every slice.
+        self._clock = getattr(sim, "clock", None)
         self.rng = RngStream(seed, "scheduler")
+        #: Per-rank wall accounting is opt-in (``SimConfig.wall_accounting``):
+        #: two ``perf_counter`` reads per baton handoff are pure overhead on
+        #: the hot path and the numbers never enter deterministic outputs.
+        self._wall_accounting = bool(getattr(sim, "wall_accounting", False))
         #: Set when the baton is handed back to the scheduler thread.
         self._sched_gate = threading.Event()
         self._rr_cursor = 0
@@ -104,7 +113,49 @@ class Scheduler:
         while desc.matched is None:
             self.block(proc, BlockInfo("recv", desc))
 
+    # -- generator twins of the three primitives above ------------------- #
+    #
+    # Under the cooperative core a scheduling point is a ``yield`` instead
+    # of a gate handoff; everything around it (kill checks, state flips,
+    # trace emissions) is kept line-for-line identical so both cores
+    # produce the same event sequence.  Synchronous callers reach these
+    # through ``coop.drive``.
+
+    def co_yield_point(self, proc: Proc):
+        # Kill checks are inlined (``_raise_kill`` is the cold path): this
+        # generator brackets every suspension on the coop hot path.
+        if proc.kill_flag:
+            self._raise_kill(proc)
+        proc.state = ProcState.RUNNABLE
+        yield
+        if proc.kill_flag:
+            self._raise_kill(proc)
+
+    def co_block(self, proc: Proc, info: BlockInfo):
+        if proc.kill_flag:
+            self._raise_kill(proc)
+        proc.state = ProcState.BLOCKED
+        proc.block_info = info
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("sched", "block", rank=proc.rank, why=info.kind)
+        yield
+        if proc.kill_flag:
+            self._raise_kill(proc)
+        proc.block_info = None
+
+    def co_block_on_recv(self, proc: Proc, desc: RecvDescriptor):
+        while desc.matched is None:
+            yield from self.co_block(proc, BlockInfo("recv", desc))
+
     def _switch_to_scheduler(self, proc: Proc) -> None:
+        if proc.task is not None:
+            # A synchronous primitive on a coop-core rank would park the
+            # one real thread on its own gate; fail loudly instead.
+            raise SimMPIError(
+                f"rank {proc.rank}: synchronous scheduling point under the "
+                "cooperative core (missing co_* conversion)"
+            )
         self._sched_gate.set()
         proc.run_gate.wait()
         proc.run_gate.clear()
@@ -112,8 +163,11 @@ class Scheduler:
 
     def _check_kill(self, proc: Proc) -> None:
         if proc.kill_flag:
-            proc.kill_flag = False
-            raise ProcessKilled(proc.rank, self.sim.clock.now)
+            self._raise_kill(proc)
+
+    def _raise_kill(self, proc: Proc) -> None:
+        proc.kill_flag = False
+        raise ProcessKilled(proc.rank, self.sim.clock.now)
 
     def finish(self, proc: Proc) -> None:
         """Called by a rank thread as its very last act: hand back the baton."""
@@ -121,6 +175,11 @@ class Scheduler:
 
     def wait_first_grant(self, proc: Proc) -> None:
         """Entry gate: a new thread parks here until its first slice."""
+        if proc.task is not None:
+            raise SimMPIError(
+                f"rank {proc.rank}: thread entry gate reached under the "
+                "cooperative core"
+            )
         proc.run_gate.wait()
         proc.run_gate.clear()
         self._check_kill(proc)
@@ -139,7 +198,44 @@ class Scheduler:
         # Every slice costs a scheduling step of virtual time; without this
         # a busy-polling rank (e.g. an MPI_Test loop) would freeze the clock
         # and in-flight messages would never come due.
-        self.sim.clock.charge(self.sim.clock.cost.step)
+        clock = self._clock
+        if clock is None:
+            clock = self._clock = self.sim.clock
+        # Inlined ``clock.charge(clock.cost.step)``: the step cost is a
+        # non-negative constant and this runs once per scheduling slice.
+        clock._now += clock.cost.step
+        task = proc.task
+        if task is not None:
+            # Cooperative core: resume the rank generator until its next
+            # scheduling point.  StopIteration is the baton handback of a
+            # finished rank (``_co_rank_body`` already recorded the state).
+            # The current-proc registry is written directly (it is two
+            # writes per slice on the hottest path in the simulator).
+            if not self._wall_accounting:
+                registry = coop._here
+                registry.proc = proc
+                try:
+                    task.send(None)
+                except StopIteration:
+                    pass
+                finally:
+                    registry.proc = None
+                return
+            t0 = _time.perf_counter()
+            coop.set_current_proc(proc)
+            try:
+                task.send(None)
+            except StopIteration:
+                pass
+            finally:
+                coop.set_current_proc(None)
+            proc.wall_seconds += _time.perf_counter() - t0
+            return
+        if not self._wall_accounting:
+            proc.run_gate.set()
+            self._sched_gate.wait()
+            self._sched_gate.clear()
+            return
         t0 = _time.perf_counter()
         proc.run_gate.set()
         self._sched_gate.wait()
@@ -150,25 +246,35 @@ class Scheduler:
         """Choose the next rank to run according to the policy."""
         if not runnable:
             raise DeadlockError("pick() called with no runnable ranks")
-        if len(runnable) == 1:
+        rank = self.pick_rank(sorted(p.rank for p in runnable))
+        return next(p for p in runnable if p.rank == rank)
+
+    def pick_rank(self, ranks: list[int]) -> int:
+        """Policy choice over an ascending list of runnable ranks.
+
+        The simulator loop calls this with its maintained runnable index,
+        so a pick is O(1)-ish instead of rebuilding and re-sorting a proc
+        list every scheduling step.  RNG consumption is identical to the
+        historical proc-list path (no draw for a solo rank, one draw
+        otherwise), so seeded interleavings are unchanged.
+        """
+        if not ranks:
+            raise DeadlockError("pick_rank() called with no runnable ranks")
+        if len(ranks) == 1:
             # The fast path must still advance the round-robin cursor: a
             # solo slice is a real turn, and leaving the cursor behind the
             # rank that just ran would skew the next multi-runnable pick
             # back toward ranks that already had their turn.
-            if self.policy == "round_robin":
-                self._rr_cursor = runnable[0].rank + 1
-            return runnable[0]
-        if self.policy == "round_robin":
-            ranks = sorted(p.rank for p in runnable)
-            for r in ranks:
-                if r >= self._rr_cursor:
-                    chosen = r
-                    break
-            else:
-                chosen = ranks[0]
+            if self._policy_is_rr:
+                self._rr_cursor = ranks[0] + 1
+            return ranks[0]
+        if self._policy_is_rr:
+            # First rank at or past the cursor, wrapping to the lowest.
+            i = bisect_left(ranks, self._rr_cursor)
+            chosen = ranks[i] if i < len(ranks) else ranks[0]
             self._rr_cursor = chosen + 1
-            return next(p for p in runnable if p.rank == chosen)
-        return self.rng.choice(sorted(runnable, key=lambda p: p.rank))
+            return chosen
+        return self.rng.choice(ranks)
 
     def wake(self, proc: Proc) -> None:
         """Make a blocked rank runnable (a message arrived, or teardown)."""

@@ -24,7 +24,10 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from types import GeneratorType
+
 from repro.errors import ConfigError, DeadlockError, ProcessKilled, SimMPIError
+from repro.simmpi import coop
 from repro.simmpi.clock import CostModel, VirtualClock
 from repro.simmpi.comm import Comm
 from repro.simmpi.failure_detector import HeartbeatFailureDetector
@@ -56,12 +59,26 @@ class SimConfig:
     cost_model: CostModel = field(default_factory=CostModel)
     #: Hard cap on scheduling slices — catches livelocks in protocol code.
     max_slices: int = 20_000_000
+    #: Execution core.  ``"threads"`` runs one OS thread per rank (any
+    #: plain ``main(ctx)`` works); ``"coop"`` runs every rank as a
+    #: generator resumed on the scheduler's thread (mains must be
+    #: generator functions or provide ``co_*`` call paths) — same baton
+    #: discipline, bit-identical outcomes, no thread overhead.
+    sim_core: str = "threads"
+    #: Opt-in per-rank wall-clock accounting (``SimResult.per_rank_wall``).
+    #: Off by default: it costs two ``perf_counter`` reads per scheduling
+    #: slice and never feeds deterministic outputs.
+    wall_accounting: bool = False
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
             raise ConfigError(f"nprocs must be >= 1, got {self.nprocs}")
         if self.detector_timeout <= 0:
             raise ConfigError("detector_timeout must be positive")
+        if self.sim_core not in ("threads", "coop"):
+            raise ConfigError(
+                f"sim_core must be 'threads' or 'coop', got {self.sim_core!r}"
+            )
 
 
 @dataclass
@@ -117,10 +134,23 @@ class RankContext:
         """Voluntary scheduling point (lets other ranks run)."""
         self.sim.scheduler.yield_point(self.proc)
 
+    def co_yield_point(self):
+        """Generator twin of :meth:`yield_point` (coop-core mains)."""
+        yield from self.sim.scheduler.co_yield_point(self.proc)
+
     def potential_checkpoint(self) -> None:
         """No-op unless the recovery driver attached the C3 machinery."""
         if self.c3 is not None:
             self.c3.potential_checkpoint()
+
+    def co_potential_checkpoint(self):
+        """Generator twin of :meth:`potential_checkpoint`."""
+        if self.c3 is not None:
+            co = getattr(self.c3, "co_potential_checkpoint", None)
+            if co is not None:
+                return (yield from co())
+            return self.c3.potential_checkpoint()
+        return None
 
 
 class Simulator:
@@ -153,6 +183,10 @@ class Simulator:
             ordering=config.ordering,
         )
         self.network.tracer = tracer
+        #: Mirrored from the config so hot paths (and ``coop.drive``) read
+        #: one attribute; must be set before the scheduler is built.
+        self.sim_core = config.sim_core
+        self.wall_accounting = config.wall_accounting
         self.scheduler = Scheduler(self, config.seed, config.sched_policy)
         self.detector = HeartbeatFailureDetector(
             config.nprocs, timeout=config.detector_timeout,
@@ -169,6 +203,9 @@ class Simulator:
                 raise ConfigError(
                     f"need {config.nprocs} main functions, got {len(mains)}"
                 )
+        #: Ranks currently RUNNABLE, ascending; maintained by the
+        #: ``Proc.state`` setter so the scheduler loop never rescans procs.
+        self._runnable_ranks: list[int] = []
         self.procs = [Proc(self, r, mains[r]) for r in range(config.nprocs)]
         self._death_time: dict[int, float] = {}
         self._contexts: dict[Any, int] = {}
@@ -197,7 +234,12 @@ class Simulator:
         try:
             self.scheduler.wait_first_grant(proc)
             ctx = self._context_factory(self, proc)
-            proc.result = proc.main(ctx)
+            out = proc.main(ctx)
+            if isinstance(out, GeneratorType):
+                # Generator mains run under either core; here each of its
+                # yields becomes a baton handoff of this rank thread.
+                out = coop.drive(out, ctx.comm)
+            proc.result = out
             proc.state = ProcState.DONE
         except ProcessKilled:
             proc.state = ProcState.DEAD
@@ -207,7 +249,35 @@ class Simulator:
         finally:
             self.scheduler.finish(proc)
 
-    def _start_threads(self) -> None:
+    def _co_rank_body(self, proc: Proc):
+        """Cooperative twin of :meth:`_thread_body`: the rank as a generator.
+
+        The scheduler resumes it via ``task.send(None)``; a ``ProcessKilled``
+        raised at any inner scheduling point unwinds the whole generator
+        chain (``finally`` blocks run, as on a killed thread) and is
+        absorbed here, exactly like the threaded body's except clause.
+        """
+        try:
+            self.scheduler._check_kill(proc)  # first-grant kill window
+            ctx = self._context_factory(self, proc)
+            out = proc.main(ctx)
+            if isinstance(out, GeneratorType):
+                proc.result = yield from out
+            else:
+                proc.result = out
+            proc.state = ProcState.DONE
+        except ProcessKilled:
+            proc.state = ProcState.DEAD
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            proc.error = exc
+            proc.state = ProcState.ERRORED
+
+    def _start_ranks(self) -> None:
+        if self.sim_core == "coop":
+            for proc in self.procs:
+                proc.state = ProcState.RUNNABLE
+                proc.task = self._co_rank_body(proc)
+            return
         for proc in self.procs:
             proc.state = ProcState.RUNNABLE
             proc.thread = threading.Thread(
@@ -246,6 +316,31 @@ class Simulator:
                 continue
             proc.mailbox.deliver(env)
             self.scheduler.wake(proc)
+
+    def _detector_due(self) -> bool:
+        """Can this step's detector tick possibly produce a suspicion?
+
+        Live ranks are refreshed to ``now`` before every tick, so the only
+        ranks a tick can newly suspect are registered deaths whose frozen
+        silence has reached the timeout.  Checking just those (usually zero
+        or one) keeps the per-step detector work O(#deaths) instead of
+        O(nprocs) — the difference between O(steps) and O(steps * nprocs)
+        total, which dominated large-rank-count runs.  The decisive step
+        still runs the full refresh+tick pair, so suspicion times, event
+        fields, and trace output are bit-identical to the always-tick
+        regime.
+        """
+        if not self._death_time:
+            return False
+        now = self.clock.now
+        detector = self.detector
+        timeout = detector.timeout
+        for rank in self._death_time:
+            if not detector.is_suspected(rank) and (
+                now - detector.last_heard(rank) >= timeout
+            ):
+                return True
+        return False
 
     def _refresh_liveness(self) -> None:
         for proc in self.procs:
@@ -298,34 +393,52 @@ class Simulator:
         import time as _time
 
         wall_start = _time.perf_counter()
-        self._start_threads()
+        self._start_ranks()
         detected_at: Optional[float] = None
 
-        while True:
-            self._apply_due_failures()
-            self._deliver_due_messages()
-            self._refresh_liveness()
-            suspicions = self.detector.tick(self.clock.now)
-            if suspicions:
-                detected_at = suspicions[0].time
-                break
+        # Hot-loop locals: one scheduling step runs for every simulated MPI
+        # call, so attribute traffic here is a measurable fraction of total
+        # wall time at large rank counts.  The inline peeks (pending kills,
+        # due deliveries, registered deaths) skip whole handler calls on
+        # the overwhelmingly common step where nothing is due.
+        procs = self.procs
+        scheduler = self.scheduler
+        clock = self.clock
+        failures = self.failures
+        net_heap = self.network._heap
+        runnable_ranks = self._runnable_ranks
+        death_time = self._death_time
+        max_slices = self.config.max_slices
 
-            runnable = [p for p in self.procs if p.state is ProcState.RUNNABLE]
-            if runnable:
-                if self.scheduler.total_slices >= self.config.max_slices:
+        while True:
+            if failures._pending:
+                self._apply_due_failures()
+            if net_heap and net_heap[0][0] <= clock._now:
+                self._deliver_due_messages()
+            if death_time and self._detector_due():
+                self._refresh_liveness()
+                suspicions = self.detector.tick(clock.now)
+                if suspicions:
+                    detected_at = suspicions[0].time
+                    break
+
+            if runnable_ranks:
+                if scheduler.total_slices >= max_slices:
                     self._teardown()
                     raise SimMPIError(
-                        f"exceeded max_slices={self.config.max_slices}; "
-                        "likely livelock"
+                        f"exceeded max_slices={max_slices}; likely livelock"
                     )
-                proc = self.scheduler.pick(runnable)
-                was_alive = proc.alive
-                self.scheduler.grant(proc)
-                if proc.state is ProcState.ERRORED:
+                proc = procs[scheduler.pick_rank(runnable_ranks)]
+                # The pick came from the runnable index, so the proc is
+                # RUNNABLE — and hence alive — going into its slice; a
+                # DEAD state afterwards is always a fresh death.
+                scheduler.grant(proc)
+                state = proc._state
+                if state is ProcState.ERRORED:
                     error = proc.error
                     self._teardown()
                     raise error  # application bug: surface with traceback
-                if proc.state is ProcState.DEAD and was_alive:
+                if state is ProcState.DEAD:
                     self._handle_new_death(proc)
                 continue
 
