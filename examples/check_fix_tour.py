@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Tour of ``repro-check`` v2: findings, suppressions, and ``--fix``.
+
+Feeds a deliberately broken checkpointable app (kept in a string so this
+tour itself verifies clean) through the checker API: show the findings
+the flow- and alias-aware analyses produce, silence one with a
+``# repro: ignore[...]`` comment, then let the mechanical fixer rewrite
+the nondeterminism and print the before/after diff.
+
+Run:  python examples/check_fix_tour.py
+
+The command-line equivalents:
+
+    repro-check path/to/app.py                  # report findings
+    repro-check path/to/app.py --fix            # show the rewrite diff
+    repro-check path/to/app.py --fix --write    # apply it in place
+"""
+
+from repro.check import apply_fixes, check_source, propose_fixes
+from repro.check.fixes import render_diff
+
+BROKEN_APP = '''\
+import random
+import time
+
+TAG_RESULT = 7
+HISTORY = []
+
+
+def local_error(ctx):
+    return ctx.recv(source=0, tag=TAG_RESULT)
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    err = local_error(ctx)
+    while err > 0.5:                 # rank-divergent bound (RPR012)
+        err = ctx.allreduce(err, op="max")
+    log = HISTORY
+    log.append(err)                  # mutation through an alias (RPR033)
+    jitter = random.random()         # unlogged entropy (RPR020)
+    t0 = time.time()                 # wall-clock read (RPR021)
+    return ctx.allreduce(jitter + t0, op="sum")
+'''
+
+
+def show_findings() -> None:
+    """Every analysis family fires on the broken app."""
+    result = check_source(BROKEN_APP, file="broken_app.py")
+    print(f"== findings ({len(result.diagnostics)}) ==")
+    for diag in result.diagnostics:
+        print(f"  {diag.code} line {diag.span.line}: {diag.message[:64]}...")
+    print()
+
+
+def show_suppression() -> None:
+    """A line-scoped comment moves a finding to the suppressed record."""
+    # Assembled in two parts so the suppression scanner (which reads raw
+    # source lines, strings included) does not see a marker in this tour.
+    marker = "# repro: " + "ignore[RPR033]"
+    patched = BROKEN_APP.replace(
+        "log.append(err)                  # mutation through an alias (RPR033)",
+        f"log.append(err)  {marker}",
+    )
+    result = check_source(patched, file="broken_app.py")
+    kept = [d.code for d in result.diagnostics]
+    waved = [d.code for d in result.suppressed]
+    print(f"== after '{marker}' ==")
+    print(f"  reported:   {kept}")
+    print(f"  suppressed: {waved}  (still in the JSON payload for audit)")
+    print()
+
+
+def show_fixes() -> None:
+    """The mechanical fixer rewrites entropy and clock reads."""
+    fixes = propose_fixes(BROKEN_APP, file="broken_app.py")
+    fixed = apply_fixes(BROKEN_APP, fixes)
+    print(f"== --fix proposes {len(fixes)} rewrite(s) ==")
+    print(render_diff(BROKEN_APP, fixed, "broken_app.py"))
+    remaining = {d.code for d in check_source(fixed, file="broken_app.py").diagnostics}
+    print(f"  nondeterminism findings left after the rewrite: "
+          f"{sorted(c for c in remaining if c in ('RPR020', 'RPR021'))}")
+    rerun = propose_fixes(fixed, file="broken_app.py")
+    print(f"  a second --fix pass proposes {len(rerun)} rewrite(s) (idempotent)")
+
+
+def main() -> None:
+    show_findings()
+    show_suppression()
+    show_fixes()
+
+
+if __name__ == "__main__":
+    main()

@@ -13,27 +13,39 @@ Analyses (see :mod:`repro.check.analyses`):
 
 * **supported-subset** (``RPR001``–``RPR008``) — the precompiler's
   transformable-subset rules, reported exhaustively with spans;
-* **collective-matching** (``RPR010``/``RPR011``) — conservative
-  per-function collective-call-sequence check (the paper requires all
-  processes to execute the same sequence of collectives);
+* **collective-matching** (``RPR010``/``RPR011``) — per-function
+  collective-call-sequence check (the paper requires all processes to
+  execute the same sequence of collectives), refined interprocedurally:
+  branch arms whose *resolved* summaries match do not fire;
+* **collective-sequencing** (``RPR012``/``RPR013``) — interprocedural
+  sequencing hazards: rank-divergent loops executing collectives, and
+  point-to-point tags with traffic in only one direction (this replaced
+  the v1 p2p carve-out);
 * **unlogged-nondeterminism** (``RPR020``/``RPR021``) — nondeterministic
   stdlib calls the protocol's result log cannot replay;
-* **VDS-escape** (``RPR030``–``RPR032``) — state that escapes the
-  checkpointed variable-descriptor set (module-global mutation, mutable
-  default arguments, closure captures);
+* **VDS-escape** (``RPR030``–``RPR034``) — state that escapes the
+  checkpointed variable-descriptor set: module-global mutation, mutable
+  default arguments, closure captures, plus the alias-aware routes
+  (mutation through a local alias, locals parked in module state by a
+  callee);
 * **checkpoint-placement** (``RPR040``/``RPR041``) — communication loops
   with no reachable ``potential_checkpoint`` (unbounded re-execution on
-  recovery).
+  recovery);
+* **suppressions** (``RPR090``) — ``# repro: ignore[RPR0xx]`` comments
+  that silence nothing.
 
 Entry points (:mod:`repro.check.driver`): :func:`check_functions`,
 :func:`check_module`, :func:`check_path`, :func:`check_app`, and
 :func:`preflight` (what ``Session.run(check=...)`` and chaos campaigns
 call).  The ``repro-check`` console script / ``python -m repro.check``
-lints from the command line.
+lints from the command line; ``--fix`` proposes (and ``--fix --write``
+applies) span-anchored rewrites for the mechanical findings (see
+:mod:`repro.check.fixes`).
 """
 
 from repro.check.diagnostics import (
     CODES,
+    SCHEMA,
     CheckResult,
     CodeInfo,
     Diagnostic,
@@ -51,20 +63,28 @@ from repro.check.driver import (
     preflight,
     run_unit_checks,
 )
+from repro.check.fixes import FixProposal, apply_fixes, propose_fixes
+from repro.check.suppress import Suppression, find_suppressions
 
 __all__ = [
     "CODES",
+    "SCHEMA",
     "CheckResult",
     "CodeInfo",
     "Diagnostic",
+    "FixProposal",
     "Severity",
     "Span",
+    "Suppression",
+    "apply_fixes",
     "check_app",
     "check_functions",
     "check_module",
     "check_path",
     "check_source",
+    "find_suppressions",
     "preflight",
+    "propose_fixes",
     "render_json",
     "render_text",
     "run_unit_checks",

@@ -1,0 +1,397 @@
+"""Alias-aware VDS-escape facts (the substrate behind RPR033/RPR034).
+
+The v1 escape analysis is name-rooted: it flags ``GLOBAL.append(x)`` but
+misses the same mutation smuggled through an alias (``g = GLOBAL;
+g.append(x)``), a container element, or a helper's return value.  This
+module computes a small intra-unit points-to abstraction:
+
+* every local is classified into a **region** — ``ALIAS`` (the value *is*
+  non-local state: a module global, an attribute/subscript chain rooted
+  at one, or a unit callee's returned global), ``HOLDS`` (a fresh
+  container whose elements include aliases), or clean (fresh values,
+  call results, comm-rooted managed state);
+
+* per-function **summaries** — ``returns_nonlocal`` (the function can
+  return an alias, so its call sites inherit the region) and
+  ``param_escapes`` (parameters the function stores into module state,
+  directly or through its own callees);
+
+both computed to fixpoint over the unit.  :class:`AliasFacts` then
+enumerates the two defect shapes: a mutation whose receiver is a local
+*alias* of non-local state, and a call site handing a checkpointed local
+to a callee that parks it in module state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.precompiler.analysis import UnitAnalysis, attr_root
+
+CLEAN = "clean"
+ALIAS = "alias"
+HOLDS = "holds"
+
+
+@dataclass(frozen=True)
+class AliasMutation:
+    """A mutation whose receiver is a local alias of non-local state."""
+
+    function: str
+    local: str
+    node: ast.AST
+    via: str  # "store" or the mutator method name
+
+
+@dataclass(frozen=True)
+class EscapingArg:
+    """A call site passing a checkpointed local to an escaping parameter."""
+
+    function: str
+    callee: str
+    param: str
+    local: str
+    node: ast.Call
+
+
+class AliasFacts:
+    """Region classification + escape summaries over one checked unit."""
+
+    def __init__(
+        self,
+        functions: dict[str, ast.FunctionDef],
+        analysis: UnitAnalysis,
+        mutator_names: frozenset[str],
+    ) -> None:
+        self.functions = functions
+        self.analysis = analysis
+        self.mutator_names = mutator_names
+        self.alias_locals: dict[str, set[str]] = {n: set() for n in functions}
+        self.holds_locals: dict[str, set[str]] = {n: set() for n in functions}
+        self.returns_nonlocal: dict[str, bool] = {n: False for n in functions}
+        self.param_escapes: dict[str, set[str]] = {n: set() for n in functions}
+        self._run_fixpoint()
+
+    # -- helpers -------------------------------------------------------- #
+
+    def _locals_of(self, fn_name: str) -> set[str]:
+        return set(self.analysis.infos[fn_name].local_names)
+
+    def _comm_names(self, fn_name: str) -> frozenset[str]:
+        return self.analysis.infos[fn_name].comm_names
+
+    def _params_of(self, fn_name: str) -> list[str]:
+        args = self.functions[fn_name].args
+        return [a.arg for a in (list(args.posonlyargs) + list(args.args))]
+
+    def _is_nonlocal_name(self, fn_name: str, name: str) -> bool:
+        """A name whose binding lives outside the checkpointed frame set:
+        not a local, not the comm root, not a unit function."""
+        return (
+            name not in self._locals_of(fn_name)
+            and name not in self._comm_names(fn_name)
+            and name not in self.functions
+        )
+
+    def region_of(self, fn_name: str, expr: Optional[ast.expr]) -> str:
+        """Which region the expression's value lives in."""
+        if expr is None:
+            return CLEAN
+        alias = self.alias_locals[fn_name]
+        holds = self.holds_locals[fn_name]
+
+        def visit(node: ast.expr) -> str:
+            if isinstance(node, ast.Name):
+                if self._is_nonlocal_name(fn_name, node.id):
+                    return ALIAS
+                if node.id in alias:
+                    return ALIAS
+                if node.id in holds:
+                    return HOLDS
+                return CLEAN
+            if isinstance(node, ast.Attribute):
+                root = attr_root(node)
+                if root is not None and root in self._comm_names(fn_name):
+                    return CLEAN  # ctx.rng etc. is managed state
+                if root is not None:
+                    if self._is_nonlocal_name(fn_name, root) or root in alias:
+                        return ALIAS
+                    if root in holds:
+                        return ALIAS
+                    return CLEAN
+                return CLEAN  # rooted at a call/constant: fresh
+            if isinstance(node, ast.Subscript):
+                inner = visit(node.value)
+                if inner is ALIAS:
+                    return ALIAS
+                if inner is HOLDS:
+                    return ALIAS  # element pulled out of an alias container
+                return CLEAN
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in self.functions
+                    and self.returns_nonlocal[func.id]
+                ):
+                    return ALIAS
+                return CLEAN  # other call results are fresh objects
+            if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+                if any(visit(el) is not CLEAN for el in node.elts):
+                    return HOLDS
+                return CLEAN
+            if isinstance(node, ast.Dict):
+                values = [v for v in node.values if v is not None]
+                if any(visit(v) is not CLEAN for v in values):
+                    return HOLDS
+                return CLEAN
+            if isinstance(node, ast.IfExp):
+                regions = {visit(node.body), visit(node.orelse)}
+                for r in (ALIAS, HOLDS):
+                    if r in regions:
+                        return r
+                return CLEAN
+            if isinstance(node, ast.Starred):
+                return visit(node.value)
+            if isinstance(node, ast.NamedExpr):
+                return visit(node.value)
+            return CLEAN
+
+        return visit(expr)
+
+    # -- fixpoint ------------------------------------------------------- #
+
+    def _intra_regions(self, fn_name: str) -> bool:
+        tree = self.functions[fn_name]
+        alias = self.alias_locals[fn_name]
+        holds = self.holds_locals[fn_name]
+        changed = False
+
+        def bind(name: str, region: str) -> None:
+            nonlocal changed
+            if region is ALIAS and name not in alias:
+                alias.add(name)
+                changed = True
+            elif region is HOLDS and name not in holds:
+                holds.add(name)
+                changed = True
+
+        def bind_target(target: ast.expr, region: str) -> None:
+            if isinstance(target, ast.Name):
+                bind(target.id, region)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                # Element-wise when the value is a matching display is
+                # handled by the caller; here the whole value's region
+                # flows to every element (elements of an alias-holding
+                # value are aliases).
+                elem = ALIAS if region in (ALIAS, HOLDS) else CLEAN
+                for el in target.elts:
+                    bind_target(el, elem)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                for target in node.targets:
+                    if (
+                        isinstance(target, (ast.Tuple, ast.List))
+                        and isinstance(value, (ast.Tuple, ast.List))
+                        and len(target.elts) == len(value.elts)
+                    ):
+                        for t, v in zip(target.elts, value.elts):
+                            bind_target(t, self.region_of(fn_name, v))
+                    else:
+                        bind_target(target, self.region_of(fn_name, value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                bind_target(node.target, self.region_of(fn_name, node.value))
+            elif isinstance(node, ast.NamedExpr):
+                bind(node.target.id, self.region_of(fn_name, node.value))
+            elif isinstance(node, ast.For):
+                region = self.region_of(fn_name, node.iter)
+                if region is not CLEAN:
+                    bind_target(node.target, ALIAS)
+        return changed
+
+    def _recompute_returns(self) -> bool:
+        changed = False
+        for name, tree in self.functions.items():
+            flag = any(
+                isinstance(n, ast.Return)
+                and n.value is not None
+                and self.region_of(name, n.value) is not CLEAN
+                for n in ast.walk(tree)
+            )
+            if flag != self.returns_nonlocal[name]:
+                self.returns_nonlocal[name] = flag
+                changed = True
+        return changed
+
+    def _names_in(self, expr: ast.expr) -> set[str]:
+        return {
+            n.id for n in ast.walk(expr)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+
+    def _escape_sink_root(self, fn_name: str, node: ast.expr) -> Optional[str]:
+        """The receiver root when storing through ``node`` parks values in
+        non-local state (a global, or a local alias of one)."""
+        root = attr_root(
+            node.value if isinstance(node, ast.Subscript) else node
+        )
+        if root is None:
+            return None
+        if self._is_nonlocal_name(fn_name, root):
+            return root
+        if root in self.alias_locals[fn_name]:
+            return root
+        return None
+
+    def _recompute_param_escapes(self) -> bool:
+        changed = False
+        for name, tree in self.functions.items():
+            params = set(self._params_of(name)) - set(self._comm_names(name))
+            escapes = self.param_escapes[name]
+
+            def mark(candidates: set[str]) -> None:
+                nonlocal changed
+                for p in candidates & params:
+                    if p not in escapes:
+                        escapes.add(p)
+                        changed = True
+
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, (ast.Attribute, ast.Subscript)) \
+                                and self._escape_sink_root(name, target):
+                            mark(self._names_in(node.value))
+                elif isinstance(node, ast.AugAssign):
+                    if isinstance(node.target,
+                                  (ast.Attribute, ast.Subscript)) \
+                            and self._escape_sink_root(name, node.target):
+                        mark(self._names_in(node.value))
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in self.mutator_names
+                        and self._escape_sink_root(name, func) is not None
+                    ):
+                        for arg in list(node.args) + [
+                            k.value for k in node.keywords
+                        ]:
+                            mark(self._names_in(arg))
+                    elif (
+                        isinstance(func, ast.Name)
+                        and func.id in self.functions
+                    ):
+                        callee_params = self._params_of(func.id)
+                        callee_escapes = self.param_escapes[func.id]
+                        for i, arg in enumerate(node.args):
+                            if (
+                                i < len(callee_params)
+                                and callee_params[i] in callee_escapes
+                                and isinstance(arg, ast.Name)
+                            ):
+                                mark({arg.id})
+                        for kw in node.keywords:
+                            if (
+                                kw.arg in callee_escapes
+                                and isinstance(kw.value, ast.Name)
+                            ):
+                                mark({kw.value.id})
+        return changed
+
+    def _run_fixpoint(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for name in self.functions:
+                if self._intra_regions(name):
+                    changed = True
+            if self._recompute_returns():
+                changed = True
+            if self._recompute_param_escapes():
+                changed = True
+
+    # -- defect enumeration --------------------------------------------- #
+
+    def alias_mutations(self) -> list[AliasMutation]:
+        """Mutations whose receiver is a *local* alias of non-local state
+        (the name-rooted v1 analysis already covers non-local receivers)."""
+        out: list[AliasMutation] = []
+        for name, tree in self.functions.items():
+            alias = self.alias_locals[name]
+            for node in ast.walk(tree):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if not isinstance(
+                            target, (ast.Attribute, ast.Subscript)
+                        ):
+                            continue
+                        root = attr_root(
+                            target.value
+                            if isinstance(target, ast.Subscript)
+                            else target
+                        )
+                        if root in alias:
+                            out.append(AliasMutation(
+                                function=name, local=root,
+                                node=target, via="store",
+                            ))
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in self.mutator_names
+                    ):
+                        root = attr_root(func)
+                        if root in alias:
+                            out.append(AliasMutation(
+                                function=name, local=root,
+                                node=node, via=func.attr,
+                            ))
+        return out
+
+    def escaping_args(self) -> list[EscapingArg]:
+        """Call sites passing a clean checkpointed local to a parameter the
+        callee stores into module state."""
+        out: list[EscapingArg] = []
+        for name, tree in self.functions.items():
+            locals_ = self._locals_of(name)
+            alias = self.alias_locals[name]
+            for node in ast.walk(tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in self.functions
+                ):
+                    continue
+                callee = node.func.id
+                callee_params = self._params_of(callee)
+                callee_escapes = self.param_escapes[callee]
+                pairs: list[tuple[str, ast.expr]] = []
+                for i, arg in enumerate(node.args):
+                    if i < len(callee_params):
+                        pairs.append((callee_params[i], arg))
+                for kw in node.keywords:
+                    if kw.arg:
+                        pairs.append((kw.arg, kw.value))
+                for param, arg in pairs:
+                    if (
+                        param in callee_escapes
+                        and isinstance(arg, ast.Name)
+                        and arg.id in locals_
+                        and arg.id not in alias
+                        and arg.id not in self._comm_names(name)
+                    ):
+                        out.append(EscapingArg(
+                            function=name, callee=callee, param=param,
+                            local=arg.id, node=node,
+                        ))
+        return out

@@ -22,6 +22,9 @@ import ast
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.check.alias import AliasFacts
+from repro.check.callgraph import UnitCallGraph
+from repro.check.cfg import collectives_in, equivalent, has_unknown
 from repro.check.diagnostics import Diagnostic, Span
 from repro.precompiler.analysis import (
     UnitAnalysis,
@@ -112,6 +115,9 @@ class CheckedUnit:
     files: dict[str, str]
     analysis: UnitAnalysis
     violations: list[Violation] = field(default_factory=list)
+    #: Module-level integer/string constants visible to the unit (tag
+    #: names like ``TAG_UP = 12``), resolved by the driver from source.
+    constants: dict[str, object] = field(default_factory=dict)
 
     def file_of(self, name: str) -> str:
         return self.files.get(name, "<unknown>")
@@ -174,6 +180,31 @@ class CheckedUnit:
             )
             self._comm_callers = self._transitive(seed)
         return self._comm_callers
+
+    # -- interprocedural substrates (built lazily, shared by analyses) ---- #
+
+    @property
+    def callgraph(self) -> UnitCallGraph:
+        """Summaries + rank-divergence taint + p2p census for the unit."""
+        if not hasattr(self, "_callgraph"):
+            self._callgraph = UnitCallGraph(
+                self.functions,
+                self.analysis,
+                self.constants,
+                COLLECTIVE_NAMES,
+                P2P_NAMES,
+                NONDET_PREFIXES,
+            )
+        return self._callgraph
+
+    @property
+    def aliasfacts(self) -> AliasFacts:
+        """Points-to regions and escape summaries for the unit."""
+        if not hasattr(self, "_aliasfacts"):
+            self._aliasfacts = AliasFacts(
+                self.functions, self.analysis, MUTATOR_NAMES
+            )
+        return self._aliasfacts
 
 
 def _dotted(func: ast.expr) -> Optional[str]:
@@ -271,7 +302,20 @@ def collective_matching(unit: CheckedUnit) -> list[Diagnostic]:
                 toks += tokens_of(s.test, fn_name)
                 then_seq = seq_of(s.body, fn_name)
                 else_seq = seq_of(s.orelse, fn_name)
-                if then_seq != else_seq:
+                mismatch = then_seq != else_seq
+                if mismatch and any(
+                    t.startswith("call:") for t in then_seq + else_seq
+                ):
+                    # The token view differs, but resolving unit calls to
+                    # their own collective summaries may prove both arms
+                    # execute the same protocol (e.g. each arm calls a
+                    # different helper wrapping the same allreduce).
+                    then_res = unit.callgraph.resolve_block(fn_name, s.body)
+                    else_res = unit.callgraph.resolve_block(fn_name, s.orelse)
+                    if equivalent(then_res, else_res) \
+                            and not has_unknown(then_res):
+                        mismatch = False
+                if mismatch:
                     out.append(Diagnostic(
                         code="RPR010",
                         message=(
@@ -331,6 +375,88 @@ def collective_matching(unit: CheckedUnit) -> list[Diagnostic]:
 
 
 # ---------------------------------------------------------------------- #
+# collective-sequencing (RPR012, RPR013)
+# ---------------------------------------------------------------------- #
+
+def collective_sequencing(unit: CheckedUnit) -> list[Diagnostic]:
+    """Interprocedural sequencing hazards the syntactic matcher misses.
+
+    ``RPR012``: a loop whose guard (``while`` test / ``for`` iterable) may
+    differ across ranks — it depends on ``ctx.rank``, a received message,
+    or an unlogged draw, tracked through assignments *and* unit-function
+    calls — while the loop body (interprocedurally resolved) executes
+    collectives.  Ranks iterate different counts, so some rank eventually
+    blocks in a collective its peers never enter: the classic
+    ``while local_err > tol: allreduce(...)`` convergence deadlock.
+
+    ``RPR013``: a point-to-point tag with traffic in only one direction
+    anywhere in the unit (sends nobody receives, or receives nobody
+    sends), with module-level tag constants resolved.  This replaces the
+    v1 carve-out that ignored p2p calls entirely.
+    """
+    cg = unit.callgraph
+    out: list[Diagnostic] = []
+    for name, tree in unit.functions.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.While):
+                guard: ast.expr = node.test
+                kind = "while condition"
+            elif isinstance(node, ast.For):
+                guard = node.iter
+                kind = "for iterable"
+            else:
+                continue
+            if not cg.expr_tainted(name, guard):
+                continue
+            body = cg.resolve_block(name, node.body)
+            colls = collectives_in(body)
+            if colls:
+                out.append(Diagnostic(
+                    code="RPR012",
+                    message=(
+                        f"loop {kind} may differ across ranks but the "
+                        f"body executes collective(s) "
+                        f"{', '.join(colls)}; ranks iterate different "
+                        "counts and deadlock"
+                    ),
+                    span=unit.span(name, node),
+                    function=name,
+                    hint=(
+                        "make the guard rank-uniform first, e.g. "
+                        "allreduce the continue/error value every "
+                        "iteration so all ranks decide together"
+                    ),
+                ))
+    for um in cg.unmatched_p2p():
+        if um.kind == "send":
+            message = (
+                f"send with tag {um.tag!r} has no matching recv "
+                "anywhere in the unit"
+            )
+            hint = (
+                "the destination rank blocks forever waiting to be "
+                "received from; add the peer recv or fix the tag"
+            )
+        else:
+            message = (
+                f"recv with tag {um.tag!r} has no matching send "
+                "anywhere in the unit"
+            )
+            hint = (
+                "this rank blocks forever waiting for a message nobody "
+                "sends; add the peer send or fix the tag"
+            )
+        out.append(Diagnostic(
+            code="RPR013",
+            message=message,
+            span=unit.span(um.site.function, um.site.node),
+            function=um.site.function,
+            hint=hint,
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------- #
 # unlogged-nondeterminism (RPR020, RPR021)
 # ---------------------------------------------------------------------- #
 
@@ -353,8 +479,26 @@ def unlogged_nondeterminism(unit: CheckedUnit) -> list[Diagnostic]:
     out: list[Diagnostic] = []
     for name, tree in unit.functions.items():
         local = unit.locals_of(name) | set(unit.comm_names(name))
+        # Calls inside the arguments of a comm-rooted ``ctx.nondet(...)``
+        # are the logged-replay idiom itself, not a finding (this is what
+        # ``--fix`` rewrites unfixable entropy into).
+        logged: set[int] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "nondet"
+                and attr_root(node.func) in unit.comm_names(name)
+            ):
+                for arg in list(node.args) + [
+                    k.value for k in node.keywords
+                ]:
+                    for sub in ast.walk(arg):
+                        logged.add(id(sub))
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
+                continue
+            if id(node) in logged:
                 continue
             dotted = _dotted(node.func)
             if dotted is None or "." not in dotted:
@@ -565,6 +709,61 @@ def _free_reads(inner: ast.AST) -> set[str]:
 
 
 # ---------------------------------------------------------------------- #
+# aliased VDS-escape (RPR033, RPR034)
+# ---------------------------------------------------------------------- #
+
+def aliased_escape(unit: CheckedUnit) -> list[Diagnostic]:
+    """Escape routes the name-rooted v1 analysis cannot see.
+
+    ``RPR033``: a mutation whose receiver is a *local alias* of non-local
+    state — the global was first bound to a local (directly, through a
+    container element, or via a helper's return value) and then mutated
+    through the local name.  The mutation reaches exactly the same
+    uncheckpointed object ``RPR030`` guards against.
+
+    ``RPR034``: a checkpointed local handed to a unit callee that stores
+    its parameter into module state.  After recovery the module keeps a
+    stale reference to the pre-failure object while the restored frame
+    holds a fresh copy — the two silently diverge.
+    """
+    facts = unit.aliasfacts
+    out: list[Diagnostic] = []
+    for m in facts.alias_mutations():
+        what = (
+            "store through" if m.via == "store" else f"{m.local}.{m.via}()"
+        )
+        out.append(Diagnostic(
+            code="RPR033",
+            message=(
+                f"{what} alias {m.local!r} mutates state outside the "
+                "checkpointed VDS"
+            ),
+            span=unit.span(m.function, m.node),
+            function=m.function,
+            hint=(
+                f"{m.local!r} points at module-level state; thread the "
+                "object through parameters/locals or the globals registry"
+            ),
+        ))
+    for e in facts.escaping_args():
+        out.append(Diagnostic(
+            code="RPR034",
+            message=(
+                f"checkpointed local {e.local!r} escapes into module "
+                f"state via {e.callee}() parameter {e.param!r}"
+            ),
+            span=unit.span(e.function, e.node),
+            function=e.function,
+            hint=(
+                "after recovery the module would keep a stale reference "
+                "while the restored frame holds a new copy; return the "
+                "value instead of parking it in module state"
+            ),
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------- #
 # checkpoint-placement (RPR040, RPR041)
 # ---------------------------------------------------------------------- #
 
@@ -665,7 +864,9 @@ def checkpoint_placement(unit: CheckedUnit) -> list[Diagnostic]:
 ANALYSES: tuple[Callable[[CheckedUnit], list[Diagnostic]], ...] = (
     supported_subset,
     collective_matching,
+    collective_sequencing,
     unlogged_nondeterminism,
     vds_escape,
+    aliased_escape,
     checkpoint_placement,
 )

@@ -1,0 +1,477 @@
+"""Per-function control-flow graphs and collective-sequence summaries.
+
+Two layers live here:
+
+* :func:`build_cfg` — an explicit basic-block CFG for one unit function
+  (statement-grained blocks, edges labelled ``seq``/``then``/``else``/
+  ``loop``/``back``/``exit``).  The subset the precompiler accepts is
+  fully structured (no ``try`` on reaching paths, no exceptions), so the
+  graph is reducible by construction; the sequencing analyses use it to
+  enumerate loops with their guard expressions and reachable bodies.
+
+* the **summary language** — each function's collective-call behaviour is
+  summarised as a small regular expression over the collective alphabet:
+  :class:`Tok` (a direct ``ctx.<collective>()``), :class:`CallRef` (a call
+  into another unit function, resolved later against that function's
+  summary), :class:`Seq`, :class:`Alt` (branch merge), :class:`Star`
+  (loop merge) and :data:`UNKNOWN` (recursion cutoff).  Summaries are
+  joined at branch/loop merge points exactly where the CFG merges edges,
+  and :func:`resolve` substitutes callee summaries across call boundaries
+  — the interprocedural half of the paper's "same sequence of
+  collectives on every process" obligation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+# --------------------------------------------------------------------- #
+# The summary regular language.
+# --------------------------------------------------------------------- #
+
+class Summary:
+    """Base class for collective-sequence summaries (a tiny regex AST)."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.render()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Summary) and self.render() == other.render()
+
+    def __hash__(self) -> int:
+        return hash(self.render())
+
+
+class _Eps(Summary):
+    def render(self) -> str:
+        return "ε"
+
+
+class _Unknown(Summary):
+    """Unresolvable content (recursion, external call with effects)."""
+
+    def render(self) -> str:
+        return "?"
+
+
+#: The empty sequence and the unresolvable sentinel (singletons).
+EPS = _Eps()
+UNKNOWN = _Unknown()
+
+
+@dataclass(frozen=True, eq=False)
+class Tok(Summary):
+    """One direct collective call (``barrier``, ``allreduce``, …)."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class CallRef(Summary):
+    """A call into another unit function, by name (resolved later)."""
+
+    callee: str
+
+    def render(self) -> str:
+        return f"call:{self.callee}"
+
+
+@dataclass(frozen=True, eq=False)
+class Seq(Summary):
+    parts: tuple[Summary, ...]
+
+    def render(self) -> str:
+        inner = " ".join(p.render() for p in self.parts)
+        return inner or "ε"
+
+
+@dataclass(frozen=True, eq=False)
+class Alt(Summary):
+    """Branch merge: one of the options executes."""
+
+    options: tuple[Summary, ...]
+
+    def render(self) -> str:
+        return "(" + " | ".join(o.render() for o in self.options) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Star(Summary):
+    """Loop merge: the body executes zero or more times."""
+
+    inner: Summary
+
+    def render(self) -> str:
+        return f"({self.inner.render()})*"
+
+
+def seq(parts: Iterable[Summary]) -> Summary:
+    return normalize(Seq(tuple(parts)))
+
+
+def normalize(s: Summary) -> Summary:
+    """Canonical form: flatten sequences, drop ε, dedupe alternatives,
+    collapse trivial stars.  Two summaries are treated as equivalent when
+    their normal forms render identically (a sound, conservative check —
+    it never equates genuinely different languages)."""
+    if isinstance(s, Seq):
+        flat: list[Summary] = []
+        for part in (normalize(p) for p in s.parts):
+            if part is EPS:
+                continue
+            if isinstance(part, Seq):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if not flat:
+            return EPS
+        if len(flat) == 1:
+            return flat[0]
+        return Seq(tuple(flat))
+    if isinstance(s, Alt):
+        seen: dict[str, Summary] = {}
+        for option in (normalize(o) for o in s.options):
+            if isinstance(option, Alt):
+                for sub in option.options:
+                    seen.setdefault(sub.render(), sub)
+            else:
+                seen.setdefault(option.render(), option)
+        options = tuple(seen.values())
+        if len(options) == 1:
+            return options[0]
+        return Alt(options)
+    if isinstance(s, Star):
+        inner = normalize(s.inner)
+        if inner is EPS:
+            return EPS
+        if isinstance(inner, Star):
+            return inner
+        return Star(inner)
+    return s
+
+
+def equivalent(a: Summary, b: Summary) -> bool:
+    return normalize(a).render() == normalize(b).render()
+
+
+def collectives_in(s: Summary) -> tuple[str, ...]:
+    """Every collective token that can occur in the summary's language
+    (document order, deduplicated)."""
+    out: list[str] = []
+
+    def walk(node: Summary) -> None:
+        if isinstance(node, Tok) and node.name not in out:
+            out.append(node.name)
+        elif isinstance(node, (Seq, Alt)):
+            parts = node.parts if isinstance(node, Seq) else node.options
+            for part in parts:
+                walk(part)
+        elif isinstance(node, Star):
+            walk(node.inner)
+
+    walk(normalize(s))
+    return tuple(out)
+
+
+def unresolved_calls(s: Summary) -> tuple[str, ...]:
+    out: list[str] = []
+
+    def walk(node: Summary) -> None:
+        if isinstance(node, CallRef) and node.callee not in out:
+            out.append(node.callee)
+        elif isinstance(node, (Seq, Alt)):
+            parts = node.parts if isinstance(node, Seq) else node.options
+            for part in parts:
+                walk(part)
+        elif isinstance(node, Star):
+            walk(node.inner)
+
+    walk(s)
+    return tuple(out)
+
+
+def has_unknown(s: Summary) -> bool:
+    if s is UNKNOWN:
+        return True
+    if isinstance(s, (Seq, Alt)):
+        parts = s.parts if isinstance(s, Seq) else s.options
+        return any(has_unknown(p) for p in parts)
+    if isinstance(s, Star):
+        return has_unknown(s.inner)
+    return False
+
+
+def resolve(
+    s: Summary,
+    env: dict[str, Summary],
+    _stack: frozenset[str] = frozenset(),
+) -> Summary:
+    """Substitute callee summaries across call boundaries.
+
+    ``env`` maps unit-function name → raw summary.  Recursive cycles
+    resolve to :data:`UNKNOWN` (the analyses treat unknown content as
+    "anything", so no diagnostic is built on top of it); calls to names
+    outside the env (library calls) contribute nothing.
+    """
+    if isinstance(s, CallRef):
+        if s.callee in _stack:
+            return UNKNOWN
+        target = env.get(s.callee)
+        if target is None:
+            return EPS
+        return resolve(target, env, _stack | {s.callee})
+    if isinstance(s, Seq):
+        return normalize(Seq(tuple(resolve(p, env, _stack) for p in s.parts)))
+    if isinstance(s, Alt):
+        return normalize(Alt(tuple(resolve(o, env, _stack) for o in s.options)))
+    if isinstance(s, Star):
+        return normalize(Star(resolve(s.inner, env, _stack)))
+    return s
+
+
+# --------------------------------------------------------------------- #
+# Basic-block CFG.
+# --------------------------------------------------------------------- #
+
+@dataclass
+class BasicBlock:
+    """A run of statements with single-entry control flow."""
+
+    index: int
+    label: str = ""
+    statements: list[ast.stmt] = field(default_factory=list)
+    #: Outgoing edges as ``(kind, block_index)``; kinds are ``seq``,
+    #: ``then``/``else`` (branch), ``loop`` (enter body), ``back`` (loop
+    #: backedge), ``exit`` (return/break/continue escaping the region).
+    edges: list[tuple[str, int]] = field(default_factory=list)
+
+    def lines(self) -> tuple[int, ...]:
+        return tuple(
+            getattr(s, "lineno", 0) for s in self.statements
+        )
+
+
+@dataclass
+class FunctionCFG:
+    """The CFG of one function: blocks, entry, single synthetic exit."""
+
+    name: str
+    blocks: list[BasicBlock]
+    entry: int
+    exit: int
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def successors(self, index: int) -> list[int]:
+        return [dst for _, dst in self.blocks[index].edges]
+
+    def edge_kinds(self, src: int, dst: int) -> list[str]:
+        return [k for k, d in self.blocks[src].edges if d == dst]
+
+    def reachable(self) -> set[int]:
+        seen: set[int] = set()
+        work = [self.entry]
+        while work:
+            cur = work.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            work.extend(self.successors(cur))
+        return seen
+
+
+class _CFGBuilder:
+    def __init__(self, name: str) -> None:
+        self.cfg = FunctionCFG(name=name, blocks=[], entry=0, exit=-1)
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(index=len(self.cfg.blocks), label=label)
+        self.cfg.blocks.append(block)
+        return block
+
+    def edge(self, src: BasicBlock, kind: str, dst: BasicBlock) -> None:
+        src.edges.append((kind, dst.index))
+
+    def build(self, tree: ast.FunctionDef) -> FunctionCFG:
+        entry = self.new_block("entry")
+        self.cfg.entry = entry.index
+        exit_block = self.new_block("exit")
+        self.cfg.exit = exit_block.index
+        end = self._emit(tree.body, entry, exit_block, None, None)
+        if end is not None:
+            self.edge(end, "seq", exit_block)
+        return self.cfg
+
+    def _emit(
+        self,
+        stmts: list[ast.stmt],
+        current: BasicBlock,
+        fn_exit: BasicBlock,
+        loop_break: Optional[BasicBlock],
+        loop_continue: Optional[BasicBlock],
+    ) -> Optional[BasicBlock]:
+        """Emit statements into ``current``; return the open fall-through
+        block, or None when every path left the region."""
+        for stmt in stmts:
+            if current is None:
+                return None
+            if isinstance(stmt, ast.If):
+                current.statements.append(stmt)
+                then_block = self.new_block("then")
+                else_block = self.new_block("else")
+                join = self.new_block("join")
+                self.edge(current, "then", then_block)
+                self.edge(current, "else", else_block)
+                for arm, block in ((stmt.body, then_block),
+                                   (stmt.orelse, else_block)):
+                    end = self._emit(
+                        arm, block, fn_exit, loop_break, loop_continue
+                    )
+                    if end is not None:
+                        self.edge(end, "seq", join)
+                current = join
+            elif isinstance(stmt, (ast.For, ast.While)):
+                head = self.new_block("loop-head")
+                head.statements.append(stmt)
+                body = self.new_block("loop-body")
+                after = self.new_block("loop-exit")
+                if current is not None:
+                    self.edge(current, "seq", head)
+                self.edge(head, "loop", body)
+                self.edge(head, "else", after)
+                end = self._emit(stmt.body, body, fn_exit, after, head)
+                if end is not None:
+                    self.edge(end, "back", head)
+                if stmt.orelse:
+                    # the else-arm runs on normal loop exit; model it on
+                    # the head→after edge by chaining through a block.
+                    else_block = self.new_block("loop-else")
+                    head.edges = [
+                        (k, d) if not (k == "else" and d == after.index)
+                        else (k, else_block.index)
+                        for k, d in head.edges
+                    ]
+                    end = self._emit(
+                        stmt.orelse, else_block, fn_exit,
+                        loop_break, loop_continue,
+                    )
+                    if end is not None:
+                        self.edge(end, "seq", after)
+                current = after
+            elif isinstance(stmt, ast.Return):
+                current.statements.append(stmt)
+                self.edge(current, "exit", fn_exit)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.statements.append(stmt)
+                if loop_break is not None:
+                    self.edge(current, "exit", loop_break)
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.statements.append(stmt)
+                if loop_continue is not None:
+                    self.edge(current, "back", loop_continue)
+                current = None
+            else:
+                current.statements.append(stmt)
+        return current
+
+
+def build_cfg(tree: ast.FunctionDef) -> FunctionCFG:
+    """Build the basic-block CFG of one function."""
+    return _CFGBuilder(tree.name).build(tree)
+
+
+# --------------------------------------------------------------------- #
+# Summary extraction.
+# --------------------------------------------------------------------- #
+
+def expression_summary(
+    node: ast.AST,
+    collective_names: frozenset[str],
+    comm_names: frozenset[str],
+    unit_names: frozenset[str],
+) -> list[Summary]:
+    """Collective tokens / unit-call refs inside one expression or atomic
+    statement, in :func:`ast.walk` order (the same canonical order the v1
+    analysis used, so both arms of a branch canonicalise identically)."""
+    from repro.precompiler.analysis import attr_root
+
+    out: list[Summary] = []
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in collective_names
+            and attr_root(func) in comm_names
+        ):
+            out.append(Tok(func.attr))
+        elif isinstance(func, ast.Name) and func.id in unit_names:
+            out.append(CallRef(func.id))
+    return out
+
+
+def block_summary(
+    stmts: list[ast.stmt],
+    collective_names: frozenset[str],
+    comm_names: frozenset[str],
+    unit_names: frozenset[str],
+) -> Summary:
+    """The collective-sequence summary of a statement list, joined at
+    branch/loop merge points (If → :class:`Alt`, loops → :class:`Star`)."""
+
+    def expr(node: ast.AST) -> list[Summary]:
+        return expression_summary(
+            node, collective_names, comm_names, unit_names
+        )
+
+    def of_block(stmts: list[ast.stmt]) -> Summary:
+        parts: list[Summary] = []
+        for s in stmts:
+            if isinstance(s, ast.If):
+                parts.extend(expr(s.test))
+                parts.append(Alt((of_block(s.body), of_block(s.orelse))))
+            elif isinstance(s, ast.While):
+                parts.extend(expr(s.test))
+                parts.append(Star(seq([of_block(s.body)] + expr(s.test))))
+                parts.append(of_block(s.orelse))
+            elif isinstance(s, ast.For):
+                parts.extend(expr(s.iter))
+                parts.append(Star(of_block(s.body)))
+                parts.append(of_block(s.orelse))
+            elif isinstance(s, ast.Try):
+                parts.append(of_block(s.body))
+                parts.append(of_block(s.orelse))
+                parts.append(of_block(s.finalbody))
+            elif isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+                continue  # separate scope/unit
+            else:
+                parts.extend(expr(s))
+        return seq(parts)
+
+    return of_block(stmts)
+
+
+def function_summary(
+    tree: ast.FunctionDef,
+    collective_names: frozenset[str],
+    comm_names: frozenset[str],
+    unit_names: frozenset[str],
+) -> Summary:
+    """The function's collective-sequence summary."""
+    return block_summary(
+        tree.body, collective_names, comm_names, unit_names
+    )

@@ -9,18 +9,31 @@ loosens that), so the command slots straight into CI::
     repro-check src/repro/apps/dense_cg.py examples/quickstart.py
     repro-check --apps --format json
     repro-check dense_cg --fail-on warning
+
+``--fix`` proposes span-anchored rewrites for the mechanical findings
+(entropy → ``ctx.rng``/``ctx.nondet``, wall clocks → ``ctx.now()``,
+mutable defaults → ``None`` + rebuild guard) and prints them as unified
+diffs; ``--fix --write`` applies them in place, ``--fix --dry-run`` only
+reports the count (the CI gate asserts ``0 fix(es) proposed`` on clean
+examples)::
+
+    repro-check --fix examples/quickstart.py
+    repro-check --fix --write path/to/app.py
+    repro-check --fix --dry-run examples/*.py
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import os
 import sys
 from typing import Optional, Sequence
 
-from repro.check.diagnostics import CheckResult
+from repro.check.diagnostics import SCHEMA, CheckResult
 from repro.check.driver import check_app, check_module, check_path
+from repro.check.fixes import apply_fixes, propose_fixes, render_diff
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,6 +72,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the diagnostic code registry and exit",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="propose span-anchored rewrites for mechanical findings",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="with --fix: apply the proposed rewrites in place",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: report counts only, never print diffs or write",
+    )
     return parser
 
 
@@ -69,6 +97,25 @@ def _check_target(target: str) -> CheckResult:
         return check_app(target)
     except Exception:
         return check_module(target)
+
+
+def _target_path(target: str) -> Optional[str]:
+    """The on-disk source file behind a CLI target (for ``--fix``)."""
+    if os.path.exists(target):
+        return target
+    try:
+        from repro.api.registry import get_app
+
+        spec = get_app(target)
+        module = spec.module
+    except Exception:
+        module = target
+    try:
+        if isinstance(module, str):
+            module = importlib.import_module(module)
+        return getattr(module, "__file__", None)
+    except Exception:
+        return None
 
 
 def _fails(result: CheckResult, fail_on: str) -> bool:
@@ -111,20 +158,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except Exception as exc:  # unreadable/unimportable target
             broken.append((target, f"{type(exc).__name__}: {exc}"))
 
+    fix_records: list[dict] = []
+    diffs: list[str] = []
+    if opts.fix:
+        for target in targets:
+            path = _target_path(target)
+            if path is None or not os.path.exists(path):
+                continue
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            try:
+                proposals = propose_fixes(source, file=path)
+            except SyntaxError:
+                continue
+            if not proposals:
+                continue
+            fixed = apply_fixes(source, proposals)
+            fix_records.extend(p.to_dict() for p in proposals)
+            diffs.append(render_diff(source, fixed, path))
+            if opts.write and not opts.dry_run:
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(fixed)
+
     status = 0
     if opts.format == "json":
         payload = {
+            "schema": SCHEMA,
             "results": [r.to_dict() for r in results],
             "failed_targets": [
                 {"target": t, "error": e} for t, e in broken
             ],
         }
+        if opts.fix:
+            payload["fixes"] = fix_records
         print(json.dumps(payload, indent=2))
     else:
         for result in results:
             print(result.render())
         for target, error in broken:
             print(f"{target}: check failed to run: {error}")
+        if opts.fix and not opts.dry_run:
+            for diff in diffs:
+                print(diff, end="" if diff.endswith("\n") else "\n")
     if broken:
         status = 2
     elif any(_fails(r, opts.fail_on) for r in results):
@@ -133,10 +208,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         errors = sum(len(r.errors) for r in results)
         warnings = sum(len(r.warnings) for r in results)
         advice = sum(len(r.advice) for r in results)
-        print(
+        summary = (
             f"checked {len(results)} target(s): {errors} error(s), "
             f"{warnings} warning(s), {advice} advice"
         )
+        if opts.fix:
+            applied = " (applied)" if opts.write and not opts.dry_run else ""
+            summary += f"; {len(fix_records)} fix(es) proposed{applied}"
+        print(summary)
     return status
 
 

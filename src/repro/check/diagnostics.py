@@ -14,6 +14,12 @@ from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional
 
 
+#: Version tag for every machine-readable payload this package emits.
+#: ``repro.check/2`` added suppression records, fix proposals, and the
+#: interprocedural/alias code families (RPR012/013/033/034/090).
+SCHEMA = "repro.check/2"
+
+
 class Severity(enum.Enum):
     """How bad a finding is.
 
@@ -102,6 +108,10 @@ CODES: dict[str, CodeInfo] = _codes([
              "conditional collective sequence"),
     CodeInfo("RPR011", Severity.WARNING, "collective-matching",
              "early exit may skip later collectives"),
+    CodeInfo("RPR012", Severity.ERROR, "collective-sequencing",
+             "rank-divergent loop executes collectives"),
+    CodeInfo("RPR013", Severity.WARNING, "collective-sequencing",
+             "unmatched point-to-point protocol"),
     CodeInfo("RPR020", Severity.ERROR, "unlogged-nondeterminism",
              "unlogged nondeterministic call"),
     CodeInfo("RPR021", Severity.WARNING, "unlogged-nondeterminism",
@@ -112,10 +122,16 @@ CODES: dict[str, CodeInfo] = _codes([
              "mutable default argument"),
     CodeInfo("RPR032", Severity.WARNING, "vds-escape",
              "closure captures checkpointed locals"),
+    CodeInfo("RPR033", Severity.ERROR, "vds-escape",
+             "aliased mutation of non-local state"),
+    CodeInfo("RPR034", Severity.WARNING, "vds-escape",
+             "checkpointed value escapes through a callee"),
     CodeInfo("RPR040", Severity.ADVICE, "checkpoint-placement",
              "communication loop without reachable checkpoint"),
     CodeInfo("RPR041", Severity.ADVICE, "checkpoint-placement",
              "communicating function in unit with no checkpoint site"),
+    CodeInfo("RPR090", Severity.WARNING, "suppressions",
+             "unused suppression"),
 ])
 
 
@@ -185,6 +201,10 @@ class CheckResult:
     diagnostics: tuple[Diagnostic, ...] = ()
     #: Functions that were actually analysed (the checked unit).
     functions: tuple[str, ...] = ()
+    #: Findings silenced by ``# repro: ignore[...]`` comments.  They do not
+    #: count toward ``ok`` but stay on the record (and in the JSON payload)
+    #: so downstream consumers can audit what was waved through.
+    suppressed: tuple[Diagnostic, ...] = ()
 
     def _by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
         return tuple(d for d in self.diagnostics if d.severity is severity)
@@ -208,20 +228,33 @@ class CheckResult:
 
     def render(self) -> str:
         if not self.diagnostics:
-            return f"{self.target}: ok ({len(self.functions)} function(s) checked)"
+            note = ""
+            if self.suppressed:
+                note = f", {len(self.suppressed)} finding(s) suppressed"
+            return (
+                f"{self.target}: ok "
+                f"({len(self.functions)} function(s) checked{note})"
+            )
         counts = (
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
             f"{len(self.advice)} advice"
         )
+        if self.suppressed:
+            counts += f", {len(self.suppressed)} suppressed"
         return f"{self.target}: {counts}\n{render_text(self.diagnostics)}"
 
     def to_dict(self) -> dict:
         return {
+            "schema": SCHEMA,
             "target": self.target,
             "ok": self.ok,
             "functions": list(self.functions),
             "diagnostics": [
                 d.to_dict()
                 for d in sorted(self.diagnostics, key=Diagnostic.sort_key)
+            ],
+            "suppressed": [
+                d.to_dict()
+                for d in sorted(self.suppressed, key=Diagnostic.sort_key)
             ],
         }

@@ -28,7 +28,8 @@ import textwrap
 from typing import Any, Callable, Iterable, Optional
 
 from repro.check.analyses import ANALYSES, CheckedUnit
-from repro.check.diagnostics import CheckResult, Diagnostic, render_text
+from repro.check.diagnostics import CheckResult, Diagnostic, Span, render_text
+from repro.check.suppress import SuppressionFilter, find_suppressions
 from repro.errors import CheckError, PrecompilerError
 from repro.precompiler.analysis import (
     COMM_PARAM_NAMES,
@@ -43,14 +44,20 @@ def run_unit_checks(
     files: dict[str, str],
     target: str,
     extra_violations: Iterable[Violation] = (),
+    sources: Optional[dict[str, str]] = None,
 ) -> CheckResult:
     """Run the whole battery over already-parsed function ASTs.
 
     ``files`` maps function name → source path; line numbers in the trees
     must already be absolute file coordinates.  ``extra_violations`` lets
     the precompiler feed violations it found itself (so strict compiles
-    and the CLI render identical diagnostics).
+    and the CLI render identical diagnostics).  ``sources`` maps file
+    path → full module source text — it feeds module-constant resolution
+    (p2p tag names) and ``# repro: ignore[...]`` suppressions; when not
+    given, the driver reads the files from disk.
     """
+    if sources is None:
+        sources = _read_sources(files.values())
     violations: list[Violation] = list(extra_violations)
     analysis = UnitAnalysis(functions, collect=violations)
     reaching = analysis.reaching
@@ -61,11 +68,15 @@ def run_unit_checks(
             analysis.infos[name].comm_names,
             collect=violations,
         )
+    constants: dict[str, object] = {}
+    for source in sources.values():
+        constants.update(_module_constants(source))
     unit = CheckedUnit(
         functions=functions,
         files=files,
         analysis=analysis,
         violations=violations,
+        constants=constants,
     )
     diagnostics: list[Diagnostic] = []
     for run in ANALYSES:
@@ -78,11 +89,88 @@ def run_unit_checks(
         if key not in seen:
             seen.add(key)
             unique.append(d)
+    kept, suppressed = _apply_suppressions(unique, sources, functions, files)
     return CheckResult(
         target=target,
-        diagnostics=tuple(unique),
+        diagnostics=tuple(sorted(kept, key=Diagnostic.sort_key)),
         functions=tuple(sorted(functions)),
+        suppressed=tuple(suppressed),
     )
+
+
+def _read_sources(paths: Iterable[str]) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for path in dict.fromkeys(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                out[path] = fh.read()
+        except OSError:
+            continue  # synthetic file names ("<string>") have no disk copy
+    return out
+
+
+def _module_constants(source: str) -> dict[str, object]:
+    """Top-level ``NAME = <int/str literal>`` bindings (p2p tag names)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return {}
+    out: dict[str, object] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, (int, str))
+        ):
+            out[node.targets[0].id] = node.value.value
+    return out
+
+
+def _apply_suppressions(
+    diagnostics: list[Diagnostic],
+    sources: dict[str, str],
+    functions: dict[str, ast.FunctionDef],
+    files: dict[str, str],
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Honour ``# repro: ignore[...]`` comments; lint stale ones (RPR090)."""
+    suppressions = []
+    for file, source in sources.items():
+        suppressions.extend(find_suppressions(source, file))
+    if not suppressions:
+        return diagnostics, []
+    filt = SuppressionFilter(suppressions)
+    kept, suppressed = filt.split(diagnostics)
+    for s, code in filt.unused():
+        kept.append(Diagnostic(
+            code="RPR090",
+            message=(
+                f"suppression of {code} matches no finding "
+                f"({s.describe()})"
+            ),
+            span=Span(file=s.file, line=s.line, col=s.col),
+            function=_enclosing_function(functions, files, s.file, s.line),
+            hint=(
+                "remove the stale suppression so future regressions "
+                "are not silently waved through"
+            ),
+        ))
+    return kept, suppressed
+
+
+def _enclosing_function(
+    functions: dict[str, ast.FunctionDef],
+    files: dict[str, str],
+    file: str,
+    line: int,
+) -> str:
+    for name, tree in functions.items():
+        if files.get(name) != file:
+            continue
+        if tree.lineno <= line <= (tree.end_lineno or tree.lineno):
+            return name
+    return "<module>"
 
 
 # --------------------------------------------------------------------- #
@@ -90,6 +178,11 @@ def run_unit_checks(
 # --------------------------------------------------------------------- #
 
 def _parse_callable(fn: Callable) -> tuple[ast.FunctionDef, str]:
+    # ``inspect.getsource`` follows ``__wrapped__`` to the original def,
+    # but ``co_firstlineno`` on the wrapper belongs to the *wrapper's*
+    # source — mixing them drifts every span.  Unwrap first so source and
+    # line numbers describe the same function.
+    fn = inspect.unwrap(fn)
     try:
         source = textwrap.dedent(inspect.getsource(fn))
         file = inspect.getsourcefile(fn) or "<unknown>"
@@ -169,7 +262,9 @@ def check_source(
     module_tree = ast.parse(source, filename=file)
     trees = _select_unit(module_tree)
     files = {name: file for name in trees}
-    return run_unit_checks(trees, files, target or file)
+    return run_unit_checks(
+        trees, files, target or file, sources={file: source}
+    )
 
 
 def check_path(path: str, target: Optional[str] = None) -> CheckResult:

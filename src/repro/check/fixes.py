@@ -1,0 +1,331 @@
+"""Span-anchored auto-fixes for mechanical findings (``repro-check --fix``).
+
+Three diagnostic families have purely mechanical repairs:
+
+* ``RPR020`` — stdlib entropy draws.  ``random.<method>(...)`` rewrites to
+  ``ctx.rng.<method>(...)`` (the per-rank checkpointed generator) when the
+  method exists on :class:`random.Random`; everything else
+  (``os.urandom``, ``uuid.uuid4``, ``np.random.*``) wraps in
+  ``ctx.nondet(lambda: ...)`` so the protocol logs and replays the value.
+* ``RPR021`` — wall-clock reads.  Zero-argument ``time.*`` clocks become
+  ``ctx.now()`` (virtual time); clocks with arguments and ``datetime``
+  reads wrap in ``ctx.nondet(...)``.
+* ``RPR031`` — mutable default arguments.  The default becomes ``None``
+  and an ``if <arg> is None: <arg> = <orig>`` guard is inserted at the
+  top of the body (after the docstring).
+
+Every fix is a :class:`FixProposal` carrying absolute character offsets
+into the original source, so applying is a pure text splice:
+:func:`apply_fixes` sorts descending, drops overlaps, and never reflows
+unrelated code.  Fixing is idempotent: the rewritten forms are exactly
+the shapes the analyses treat as logged/managed, so a second pass
+proposes nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.precompiler.analysis import comm_roots
+
+#: ``random.<method>`` calls that can move onto the per-rank generator.
+RNG_METHODS = frozenset({
+    "random", "randint", "uniform", "gauss", "normalvariate", "choice",
+    "choices", "shuffle", "sample", "randrange", "betavariate",
+    "expovariate", "lognormvariate", "paretovariate", "vonmisesvariate",
+    "weibullvariate", "triangular", "getrandbits", "randbytes",
+})
+
+#: Zero-argument ``time`` clocks with a virtual-time equivalent.
+NOW_CLOCKS = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter",
+    "time.time_ns", "time.monotonic_ns", "time.perf_counter_ns",
+})
+
+
+@dataclass(frozen=True)
+class FixProposal:
+    """One span-anchored rewrite of the original source text."""
+
+    code: str          # the diagnostic code this repairs
+    file: str
+    line: int
+    col: int
+    title: str
+    start: int         # absolute character offsets into the source
+    end: int
+    replacement: str
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "title": self.title,
+            "start": self.start,
+            "end": self.end,
+            "replacement": self.replacement,
+        }
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span_offsets(
+    offsets: list[int], node: ast.AST
+) -> Optional[tuple[int, int]]:
+    line = getattr(node, "lineno", None)
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if line is None or end_line is None or end_col is None:
+        return None
+    if end_line > len(offsets) - 1:
+        return None
+    return (
+        offsets[line - 1] + node.col_offset,
+        offsets[end_line - 1] + end_col,
+    )
+
+
+def _dotted(func: ast.expr) -> Optional[str]:
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _FixPlanner:
+    def __init__(self, source: str, file: str) -> None:
+        self.source = source
+        self.file = file
+        self.offsets = _line_offsets(source)
+        self.tree = ast.parse(source, filename=file)
+        self.functions = [
+            n for n in ast.walk(self.tree) if isinstance(n, ast.FunctionDef)
+        ]
+
+    def text_of(self, node: ast.AST) -> Optional[str]:
+        span = _span_offsets(self.offsets, node)
+        if span is None:
+            return None
+        return self.source[span[0]:span[1]]
+
+    def enclosing_function(
+        self, line: int
+    ) -> Optional[ast.FunctionDef]:
+        best: Optional[ast.FunctionDef] = None
+        for fn in self.functions:
+            end = fn.end_lineno or fn.lineno
+            if fn.lineno <= line <= end:
+                if best is None or fn.lineno > best.lineno:
+                    best = fn  # innermost wins
+        return best
+
+    def comm_root(self, line: int) -> Optional[str]:
+        fn = self.enclosing_function(line)
+        if fn is None:
+            return None
+        roots = comm_roots(fn)
+        if not roots:
+            return None
+        if "ctx" in roots:
+            return "ctx"
+        return sorted(roots)[0]
+
+    def find_call(self, line: int, col: int) -> Optional[ast.Call]:
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, ast.Call)
+                and node.lineno == line
+                and node.col_offset == col
+            ):
+                return node
+        return None
+
+    # -- individual fixers --------------------------------------------- #
+
+    def fix_entropy(self, line: int, col: int) -> Optional[FixProposal]:
+        call = self.find_call(line, col)
+        root = self.comm_root(line)
+        if call is None or root is None:
+            return None
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in RNG_METHODS
+            and isinstance(call.func, ast.Attribute)
+        ):
+            # random.<m>(...) -> ctx.rng.<m>(...): splice just the module
+            # name so the arguments keep their exact text.
+            name_node = call.func.value
+            span = _span_offsets(self.offsets, name_node)
+            if span is None:
+                return None
+            return FixProposal(
+                code="RPR020", file=self.file, line=line, col=col,
+                title=f"{dotted}() -> {root}.rng.{parts[1]}()",
+                start=span[0], end=span[1], replacement=f"{root}.rng",
+            )
+        return self._wrap_nondet(call, "RPR020", root, dotted)
+
+    def fix_clock(self, line: int, col: int) -> Optional[FixProposal]:
+        call = self.find_call(line, col)
+        root = self.comm_root(line)
+        if call is None or root is None:
+            return None
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        if dotted in NOW_CLOCKS and not call.args and not call.keywords:
+            span = _span_offsets(self.offsets, call)
+            if span is None:
+                return None
+            return FixProposal(
+                code="RPR021", file=self.file, line=line, col=col,
+                title=f"{dotted}() -> {root}.now()",
+                start=span[0], end=span[1], replacement=f"{root}.now()",
+            )
+        return self._wrap_nondet(call, "RPR021", root, dotted)
+
+    def _wrap_nondet(
+        self, call: ast.Call, code: str, root: str, dotted: str
+    ) -> Optional[FixProposal]:
+        span = _span_offsets(self.offsets, call)
+        original = self.text_of(call)
+        if span is None or original is None or "\n" in original:
+            return None  # multi-line calls: leave to the human
+        return FixProposal(
+            code=code, file=self.file, line=call.lineno,
+            col=call.col_offset,
+            title=f"log {dotted}() via {root}.nondet(...)",
+            start=span[0], end=span[1],
+            replacement=f"{root}.nondet(lambda: {original})",
+        )
+
+    def fix_mutable_default(
+        self, line: int, col: int
+    ) -> list[FixProposal]:
+        """Two splices: default -> None, plus a rebuild guard in the body."""
+        for fn in self.functions:
+            args = fn.args
+            pos = list(args.posonlyargs) + list(args.args)
+            pairs = list(zip(pos[len(pos) - len(args.defaults):],
+                             args.defaults))
+            pairs += [
+                (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                if d is not None
+            ]
+            for arg, default in pairs:
+                if default.lineno == line and default.col_offset == col:
+                    return self._default_guard(fn, arg, default)
+        return []
+
+    def _default_guard(
+        self, fn: ast.FunctionDef, arg: ast.arg, default: ast.expr
+    ) -> list[FixProposal]:
+        span = _span_offsets(self.offsets, default)
+        original = self.text_of(default)
+        if span is None or original is None or "\n" in original:
+            return []
+        body = list(fn.body)
+        insert_after = 0
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            insert_after = 1  # keep the docstring first
+        if insert_after >= len(body):
+            return []
+        anchor = body[insert_after]
+        indent = " " * anchor.col_offset
+        at = self.offsets[anchor.lineno - 1]
+        guard = (
+            f"{indent}if {arg.arg} is None:\n"
+            f"{indent}    {arg.arg} = {original}\n"
+        )
+        return [
+            FixProposal(
+                code="RPR031", file=self.file,
+                line=default.lineno, col=default.col_offset,
+                title=f"default {arg.arg}={original} -> None",
+                start=span[0], end=span[1], replacement="None",
+            ),
+            FixProposal(
+                code="RPR031", file=self.file,
+                line=anchor.lineno, col=anchor.col_offset,
+                title=f"rebuild {arg.arg} inside the body",
+                start=at, end=at, replacement=guard,
+            ),
+        ]
+
+
+def propose_fixes(source: str, file: str = "<string>") -> list[FixProposal]:
+    """Every mechanical rewrite for the file's *active* findings.
+
+    Runs the full check over the source; suppressed findings are left
+    alone (the suppression is an explicit human decision).
+    """
+    from repro.check.driver import check_source
+
+    result = check_source(source, file=file)
+    planner = _FixPlanner(source, file)
+    proposals: list[FixProposal] = []
+    for d in result.diagnostics:
+        if d.code == "RPR020":
+            fix = planner.fix_entropy(d.span.line, d.span.col)
+            if fix is not None:
+                proposals.append(fix)
+        elif d.code == "RPR021":
+            fix = planner.fix_clock(d.span.line, d.span.col)
+            if fix is not None:
+                proposals.append(fix)
+        elif d.code == "RPR031":
+            proposals.extend(
+                planner.fix_mutable_default(d.span.line, d.span.col)
+            )
+    return proposals
+
+
+def apply_fixes(source: str, proposals: list[FixProposal]) -> str:
+    """Splice the proposals into the source (descending offset order;
+    overlapping proposals after the first are dropped)."""
+    applied: list[FixProposal] = []
+    for p in sorted(proposals, key=lambda p: (p.start, p.end)):
+        if applied and p.start < applied[-1].end and not (
+            p.start == p.end or applied[-1].start == applied[-1].end
+        ):
+            continue  # overlap: keep the earlier proposal
+        applied.append(p)
+    out = source
+    for p in sorted(applied, key=lambda p: p.start, reverse=True):
+        out = out[:p.start] + p.replacement + out[p.end:]
+    return out
+
+
+def render_diff(old: str, new: str, file: str) -> str:
+    """Unified diff of one file's fix application."""
+    return "".join(difflib.unified_diff(
+        old.splitlines(keepends=True),
+        new.splitlines(keepends=True),
+        fromfile=file,
+        tofile=file,
+    ))

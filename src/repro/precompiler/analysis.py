@@ -111,11 +111,20 @@ def is_checkpoint_site(
 
 def called_unit_functions(node: ast.AST, unit_names: set[str]) -> set[str]:
     """Names of unit functions invoked by plain name anywhere under node."""
-    out: set[str] = set()
+    return set(unit_call_sites(node, unit_names))
+
+
+def unit_call_sites(
+    node: ast.AST, unit_names: set[str]
+) -> dict[str, list[ast.Call]]:
+    """Every plain-name call into the unit, callee → call nodes (document
+    order).  The interprocedural checks in :mod:`repro.check` walk these
+    edges instead of re-discovering them."""
+    out: dict[str, list[ast.Call]] = {}
     for sub in ast.walk(node):
         if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
             if sub.func.id in unit_names:
-                out.add(sub.func.id)
+                out.setdefault(sub.func.id, []).append(sub)
     return out
 
 
@@ -169,6 +178,8 @@ class FunctionInfo:
     local_names: list[str] = field(default_factory=list)
     #: Names the function's checkpoint sites / comm calls must be rooted at.
     comm_names: frozenset[str] = frozenset()
+    #: Plain-name calls into other unit functions, callee → call nodes.
+    call_sites: dict[str, list[ast.Call]] = field(default_factory=dict)
 
 
 class UnitAnalysis:
@@ -192,7 +203,8 @@ class UnitAnalysis:
             info.has_checkpoint_site = any(
                 is_checkpoint_site(n, info.comm_names) for n in ast.walk(tree)
             )
-            info.callees = called_unit_functions(tree, unit_names)
+            info.call_sites = unit_call_sites(tree, unit_names)
+            info.callees = set(info.call_sites)
             info.local_names = discover_locals(
                 tree,
                 on_violation=(

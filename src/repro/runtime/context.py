@@ -72,6 +72,11 @@ class C3AppContext:
     def wtime(self) -> float:
         return self._rank_ctx.wtime()
 
+    def now(self) -> float:
+        """Virtual time, the replay-stable substitute for ``time.time()``
+        (what ``repro-check --fix`` rewrites wall-clock reads into)."""
+        return self.wtime()
+
     # ------------------------------------------------------------------ #
 
     def checkpointable_state(self, init: Callable[[], Any]) -> Any:

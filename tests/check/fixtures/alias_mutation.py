@@ -1,0 +1,22 @@
+"""Seeded violations: module state mutated through local aliases — a
+direct alias, a container element, and a helper's return value.  The
+name-rooted RPR030 analysis sees none of these."""
+
+HISTORY = []
+SETTINGS = {"tol": 0.5}
+
+
+def shared_settings():
+    return SETTINGS
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    log = HISTORY
+    log.append(ctx.rank)  # CHECK: RPR033
+    box = (HISTORY, 0)
+    sink = box[0]
+    sink.extend([1, 2])  # CHECK: RPR033
+    cfg = shared_settings()
+    cfg["tol"] = 0.1  # CHECK: RPR033
+    return ctx.allreduce(1.0, op="sum")

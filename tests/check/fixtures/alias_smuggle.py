@@ -1,0 +1,16 @@
+"""Seeded violations: a checkpointed local smuggled into module state by
+a helper.  The store inside the helper is the classic RPR030; the call
+site handing the local over is the new interprocedural RPR034."""
+
+CACHE = {}
+
+
+def remember(ctx, key, value):
+    CACHE[key] = value  # CHECK: RPR030
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    field = [float(ctx.rank)] * 8
+    remember(ctx, ctx.rank, field)  # CHECK: RPR034
+    return ctx.allreduce(field[0], op="sum")

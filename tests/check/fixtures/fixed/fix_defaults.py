@@ -1,0 +1,16 @@
+"""Seeded violation the mechanical fixer rewrites: a mutable default
+argument becomes ``None`` plus an in-body rebuild guard (golden output in
+``fixtures/fixed/fix_defaults.py``)."""
+
+
+def accumulate(ctx, value, history=None):  # CHECK: RPR031
+    """Collect values into a per-call history."""
+    if history is None:
+        history = []
+    history.append(value)
+    return ctx.allreduce(value, op="sum")
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    return accumulate(ctx, float(ctx.rank))

@@ -1,0 +1,17 @@
+"""Seeded violations the mechanical fixer rewrites: entropy draws and
+wall-clock reads.  ``tests/check/test_fixes.py`` applies ``--fix`` to
+this file and compares against ``fixtures/fixed/fix_nondet.py``."""
+
+import os
+import random
+import time
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    a = ctx.rng.random()  # CHECK: RPR020
+    b = ctx.rng.randint(0, 7)  # CHECK: RPR020
+    c = ctx.nondet(lambda: os.urandom(4))  # CHECK: RPR020
+    t = ctx.now()  # CHECK: RPR021
+    d = ctx.now()  # CHECK: RPR021
+    return ctx.allreduce(a + b + t + d, op="sum"), c

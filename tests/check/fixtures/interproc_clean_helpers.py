@@ -1,0 +1,33 @@
+"""Clean under v2 (no findings expected): the branch arms call
+*different* helpers that resolve to the *same* collective protocol, and
+the rank-parity halo exchange balances its tags — both shapes the v1
+syntactic matcher could not prove safe."""
+
+TAG_NEXT = 7
+
+
+def sum_all(ctx, x):
+    return ctx.allreduce(x, op="sum")
+
+
+def sum_positive(ctx, x):
+    return ctx.allreduce(max(x, 0.0), op="sum")
+
+
+def exchange(ctx, x):
+    if ctx.rank % 2 == 0:
+        ctx.send(x, dest=(ctx.rank + 1) % ctx.size, tag=TAG_NEXT)
+        return ctx.recv(tag=TAG_NEXT)
+    got = ctx.recv(tag=TAG_NEXT)
+    ctx.send(x, dest=(ctx.rank - 1) % ctx.size, tag=TAG_NEXT)
+    return got
+
+
+def main(ctx):
+    x = float(ctx.rank)
+    ctx.potential_checkpoint()
+    if ctx.rank % 2 == 0:
+        total = sum_all(ctx, x)
+    else:
+        total = sum_positive(ctx, x)
+    return exchange(ctx, total)

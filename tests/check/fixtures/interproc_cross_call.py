@@ -1,0 +1,21 @@
+"""Seeded violation: a rank-divergent convergence loop whose collective
+lives in a callee — invisible to any unit-local, syntactic matcher."""
+
+
+def local_error(ctx, x):
+    lo = ctx.recv()
+    return abs(x - lo)
+
+
+def refine(ctx, err):
+    scaled = ctx.allreduce(err, op="max")
+    return scaled * 0.5
+
+
+def main(ctx):
+    ctx.send(float(ctx.rank), dest=(ctx.rank + 1) % ctx.size)
+    err = local_error(ctx, 1.0)
+    while err > 0.5:  # CHECK: RPR012
+        ctx.potential_checkpoint()
+        err = refine(ctx, err)
+    return err

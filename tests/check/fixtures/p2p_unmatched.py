@@ -1,0 +1,14 @@
+"""Seeded violations: one-sided point-to-point protocols (tag constants
+resolve through the module namespace)."""
+
+TAG_RESULT = 21
+TAG_WORK = 22
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    if ctx.rank > 0:
+        ctx.send(1.0, dest=0, tag=TAG_RESULT)  # CHECK: RPR013
+    if ctx.rank == 0:
+        return ctx.recv(tag=TAG_WORK)  # CHECK: RPR013
+    return 0.0

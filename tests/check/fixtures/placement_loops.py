@@ -11,6 +11,7 @@ def main(ctx):
     ctx.potential_checkpoint()
     for i in range(100):  # CHECK: RPR040
         x = exchange(ctx, x)
-    while x < 10.0:  # CHECK: RPR040
-        x = ctx.allreduce(x, op="sum")
-    return x
+    err = ctx.allreduce(x, op="sum")
+    while err < 10.0:  # CHECK: RPR040
+        err = ctx.allreduce(err, op="sum")
+    return err

@@ -1,0 +1,14 @@
+"""File-scoped suppressions: the RPR021 entry silences both wall-clock
+reads below; the RPR031 entry silences nothing and is flagged stale."""
+
+import time
+
+# repro: ignore-file[RPR021]
+# repro: ignore-file[RPR031]  # CHECK: RPR090
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    t0 = time.time()
+    t1 = time.perf_counter()
+    return ctx.allreduce(t1 - t0, op="sum")

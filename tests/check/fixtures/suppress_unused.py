@@ -1,0 +1,8 @@
+"""Seeded violation: a stale suppression.  The line it guards produces
+no RPR020, so the suppression itself is flagged."""
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    x = 1.0  # repro: ignore[RPR020]  # CHECK: RPR090
+    return ctx.allreduce(x, op="sum")

@@ -1,0 +1,12 @@
+"""Clean by suppression (no findings expected): the entropy draw is a
+deliberate waiver — the ``# repro: ignore`` comment moves it to the
+result's ``suppressed`` record, and because it silences a real finding no
+RPR090 appears either."""
+
+import random
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    jitter = random.random()  # repro: ignore[RPR020]
+    return ctx.allreduce(jitter, op="sum")

@@ -1,0 +1,160 @@
+"""Alias-aware VDS-escape analysis: mutations through aliases of
+non-local state (RPR033) and checkpointed locals smuggled into module
+state through helper parameters (RPR034)."""
+
+import textwrap
+
+from repro.check import check_source
+
+
+def check(source: str):
+    return check_source(textwrap.dedent(source), file="<test>")
+
+
+def codes(result) -> list[str]:
+    return sorted(d.code for d in result.diagnostics)
+
+
+class TestAliasMutation:
+    def test_store_through_direct_alias(self):
+        result = check(
+            """
+            STATE = {}
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                view = STATE
+                view["x"] = ctx.allreduce(1.0, op="sum")
+                return 0
+            """
+        )
+        assert "RPR033" in codes(result)
+
+    def test_mutator_call_through_alias(self):
+        result = check(
+            """
+            LOG = []
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                sink = LOG
+                sink.append(ctx.rank)
+                return ctx.allreduce(1.0, op="sum")
+            """
+        )
+        assert "RPR033" in codes(result)
+
+    def test_alias_laundered_through_container(self):
+        result = check(
+            """
+            LOG = []
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                box = (LOG, 0)
+                sink = box[0]
+                sink.extend([ctx.rank])
+                return ctx.allreduce(1.0, op="sum")
+            """
+        )
+        assert "RPR033" in codes(result)
+
+    def test_helper_returning_global_taints_caller(self):
+        result = check(
+            """
+            SETTINGS = {"tol": 1e-6}
+
+            def shared(ctx):
+                return SETTINGS
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                cfg = shared(ctx)
+                cfg["tol"] = 0.1
+                return ctx.allreduce(1.0, op="sum")
+            """
+        )
+        assert "RPR033" in codes(result)
+
+    def test_fresh_local_container_is_clean(self):
+        result = check(
+            """
+            def main(ctx):
+                ctx.potential_checkpoint()
+                log = []
+                log.append(ctx.rank)
+                copy = log
+                copy.extend([1, 2])
+                return ctx.allreduce(float(len(log)), op="sum")
+            """
+        )
+        assert codes(result) == []
+
+    def test_copy_of_global_is_clean(self):
+        # list(...) builds a fresh object; mutating the copy does not
+        # touch the module state it was built from.
+        result = check(
+            """
+            DEFAULTS = [1, 2, 3]
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                work = list(DEFAULTS)
+                work.append(ctx.rank)
+                return ctx.allreduce(float(len(work)), op="sum")
+            """
+        )
+        assert codes(result) == []
+
+
+class TestEscapingArgs:
+    def test_local_stored_into_global_by_callee(self):
+        result = check(
+            """
+            CACHE = {}
+
+            def remember(ctx, value):
+                CACHE["last"] = value
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                field = [float(ctx.rank)]
+                remember(ctx, field)
+                return ctx.allreduce(field[0], op="sum")
+            """
+        )
+        assert "RPR034" in codes(result)
+
+    def test_escape_is_transitive_through_helpers(self):
+        result = check(
+            """
+            CACHE = {}
+
+            def stash(ctx, value):
+                CACHE["last"] = value
+
+            def relay(ctx, value):
+                stash(ctx, value)
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                field = [float(ctx.rank)]
+                relay(ctx, field)
+                return ctx.allreduce(field[0], op="sum")
+            """
+        )
+        assert "RPR034" in codes(result)
+
+    def test_value_only_callee_is_clean(self):
+        result = check(
+            """
+            def norm(ctx, values):
+                return ctx.allreduce(sum(values), op="sum")
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                field = [float(ctx.rank)]
+                return norm(ctx, field)
+            """
+        )
+        assert codes(result) == []

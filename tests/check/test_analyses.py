@@ -82,13 +82,31 @@ class TestCollectiveMatching:
         assert codes(result) == []
 
     def test_p2p_in_one_arm_is_not_a_collective(self):
-        # laplace's halo exchange: conditional send/recv is fine.
+        # laplace's halo exchange: conditional send/recv never enters the
+        # *collective* matcher.  The one-sided send is the census's
+        # business now (RPR013), not a branch mismatch.
         result = check(
             """
             def main(ctx):
                 ctx.potential_checkpoint()
                 if ctx.rank > 0:
                     ctx.send(1, dest=ctx.rank - 1)
+                return 0
+            """
+        )
+        assert codes(result) == ["RPR013"]
+
+    def test_matched_p2p_pair_is_silent(self):
+        # The full rank-parity protocol — a send and its matching recv
+        # (same default tag) — verifies clean without any carve-out.
+        result = check(
+            """
+            def main(ctx):
+                ctx.potential_checkpoint()
+                if ctx.rank > 0:
+                    ctx.send(1, dest=ctx.rank - 1)
+                if ctx.rank < ctx.size - 1:
+                    x = ctx.recv()
                 return 0
             """
         )
@@ -221,7 +239,9 @@ class TestCheckpointPlacement:
                 return 0
             """
         )
-        assert codes(result) == ["RPR040"]
+        # One RPR040 for the outermost loop; the receive-less send is the
+        # census's one RPR013 (reported once per tag, not per loop level).
+        assert codes(result) == ["RPR013", "RPR040"]
 
     def test_checkpoint_via_unit_call_satisfies_loop(self):
         result = check(
@@ -240,7 +260,8 @@ class TestCheckpointPlacement:
         assert codes(result) == []
 
     def test_barrier_counts_as_checkpoint_site(self):
-        # Paper Section 4.5: a barrier is a potential-checkpoint location.
+        # Paper Section 4.5: a barrier is a potential-checkpoint location,
+        # so no RPR040 here; the unanswered send still earns its RPR013.
         result = check(
             """
             def main(ctx):
@@ -250,4 +271,4 @@ class TestCheckpointPlacement:
                 return 0
             """
         )
-        assert codes(result) == []
+        assert codes(result) == ["RPR013"]

@@ -1,0 +1,114 @@
+"""The ``--fix`` rewriter: proposals, golden before/after files,
+idempotency, and the CLI write/dry-run flow."""
+
+import shutil
+from pathlib import Path
+
+from repro.check import apply_fixes, check_source, propose_fixes
+from repro.check.cli import main
+from repro.check.fixes import render_diff
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = FIXTURES / "fixed"
+
+
+def fix_source(name: str) -> tuple[str, str]:
+    source = (FIXTURES / name).read_text()
+    fixes = propose_fixes(source, file=name)
+    return source, apply_fixes(source, fixes)
+
+
+class TestGoldens:
+    def test_nondet_fixture_matches_golden(self):
+        _, fixed = fix_source("fix_nondet.py")
+        assert fixed == (GOLDEN / "fix_nondet.py").read_text()
+
+    def test_defaults_fixture_matches_golden(self):
+        _, fixed = fix_source("fix_defaults.py")
+        assert fixed == (GOLDEN / "fix_defaults.py").read_text()
+
+    def test_goldens_verify_clean(self):
+        for name in ("fix_nondet.py", "fix_defaults.py"):
+            fixed = (GOLDEN / name).read_text()
+            result = check_source(fixed, file=name)
+            assert [d.code for d in result.diagnostics] == [], name
+
+    def test_second_application_is_a_noop(self):
+        for name in ("fix_nondet.py", "fix_defaults.py"):
+            _, fixed = fix_source(name)
+            again = propose_fixes(fixed, file=name)
+            assert again == [], name
+            assert apply_fixes(fixed, again) == fixed
+
+
+class TestProposals:
+    def test_entropy_rewrites_target_the_call_only(self):
+        source = (FIXTURES / "fix_nondet.py").read_text()
+        fixes = propose_fixes(source, file="fix_nondet.py")
+        by_code = {}
+        for f in fixes:
+            by_code.setdefault(f.code, []).append(f)
+        assert len(by_code["RPR020"]) == 3
+        assert len(by_code["RPR021"]) == 2
+        replacements = {f.replacement for f in fixes}
+        assert "ctx.rng" in replacements  # random.<m> → ctx.rng.<m>
+        assert "ctx.now()" in replacements
+        assert any("ctx.nondet(lambda:" in r for r in replacements)
+
+    def test_suppressed_findings_are_not_fixed(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def main(ctx):\n"
+            "    ctx.potential_checkpoint()\n"
+            "    x = random.random()  # repro: ignore[RPR020]\n"
+            '    return ctx.allreduce(x, op="sum")\n'
+        )
+        assert propose_fixes(source, file="<test>") == []
+
+    def test_proposal_to_dict_is_json_ready(self):
+        source = (FIXTURES / "fix_nondet.py").read_text()
+        fix = propose_fixes(source, file="fix_nondet.py")[0]
+        record = fix.to_dict()
+        assert record["code"].startswith("RPR")
+        assert record["file"] == "fix_nondet.py"
+        assert isinstance(record["line"], int)
+        assert record["replacement"]
+
+    def test_render_diff_is_unified(self):
+        source, fixed = fix_source("fix_nondet.py")
+        diff = render_diff(source, fixed, "fix_nondet.py")
+        assert diff.startswith("--- fix_nondet.py")
+        assert "+    a = ctx.rng.random()" in diff
+
+
+class TestCLIFixFlow:
+    def test_write_rewrites_the_file(self, tmp_path, capsys):
+        target = tmp_path / "fix_nondet.py"
+        shutil.copy(FIXTURES / "fix_nondet.py", target)
+        main([str(target), "--fix", "--write"])
+        capsys.readouterr()
+        assert target.read_text() == (GOLDEN / "fix_nondet.py").read_text()
+        # the rewritten file now verifies clean and proposes nothing.
+        assert main([str(target), "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "0 fix(es) proposed" in out
+
+    def test_dry_run_leaves_the_file_alone(self, tmp_path, capsys):
+        target = tmp_path / "fix_nondet.py"
+        shutil.copy(FIXTURES / "fix_nondet.py", target)
+        before = target.read_text()
+        main([str(target), "--fix", "--dry-run"])
+        out = capsys.readouterr().out
+        assert target.read_text() == before
+        assert "5 fix(es) proposed" in out
+
+    def test_fix_without_write_prints_diff_only(self, tmp_path, capsys):
+        target = tmp_path / "fix_defaults.py"
+        shutil.copy(FIXTURES / "fix_defaults.py", target)
+        before = target.read_text()
+        main([str(target), "--fix"])
+        out = capsys.readouterr().out
+        assert target.read_text() == before
+        assert "history=None" in out  # the diff is shown
+        assert "2 fix(es) proposed" in out

@@ -1,0 +1,226 @@
+"""Interprocedural collective sequencing: rank-divergence taint across
+call boundaries (RPR012), the whole-unit p2p census (RPR013), and the
+resolution-based refinement of branch mismatches (RPR010)."""
+
+import textwrap
+
+from repro.check import check_app, check_source
+
+
+def check(source: str):
+    return check_source(textwrap.dedent(source), file="<test>")
+
+
+def codes(result) -> list[str]:
+    return sorted(d.code for d in result.diagnostics)
+
+
+class TestRankDivergentLoops:
+    def test_recv_bound_guard_with_collective_body_fires(self):
+        result = check(
+            """
+            def main(ctx):
+                err = ctx.recv(source=0, tag=0)
+                while err > 0.5:  # divergent bound, collective body
+                    ctx.potential_checkpoint()
+                    err = ctx.allreduce(err, op="max")
+                ctx.send(err, dest=0, tag=0)
+                return err
+            """
+        )
+        assert "RPR012" in codes(result)
+        diag = next(d for d in result.diagnostics if d.code == "RPR012")
+        assert diag.span.line == 4
+
+    def test_taint_flows_through_helper_return(self):
+        result = check(
+            """
+            def local_bound(ctx):
+                return ctx.rank * 2
+
+            def main(ctx):
+                n = local_bound(ctx)
+                for i in range(n):  # bound differs per rank
+                    ctx.potential_checkpoint()
+                    ctx.barrier()
+                return 0
+            """
+        )
+        assert "RPR012" in codes(result)
+
+    def test_collective_result_is_uniform(self):
+        # allreduce returns the same value on every rank — a loop bound
+        # derived from it is replica-consistent and must not fire.
+        result = check(
+            """
+            def main(ctx):
+                n = ctx.allreduce(ctx.rank, op="max")
+                for i in range(n):
+                    ctx.potential_checkpoint()
+                    ctx.barrier()
+                return 0
+            """
+        )
+        assert "RPR012" not in codes(result)
+
+    def test_divergent_loop_without_collectives_is_silent(self):
+        # Ranks may iterate different counts, but the body performs no
+        # collectives — nothing can deadlock.
+        result = check(
+            """
+            def main(ctx):
+                x = ctx.recv(source=0, tag=0)
+                total = 0.0
+                while x > 0.0:
+                    total += x
+                    x -= 1.0
+                ctx.potential_checkpoint()
+                return ctx.allreduce(total, op="sum")
+            """
+        )
+        assert "RPR012" not in codes(result)
+
+    def test_collective_inside_callee_body_counts(self):
+        result = check(
+            """
+            def refine(ctx, x):
+                return ctx.allreduce(x, op="max")
+
+            def main(ctx):
+                err = ctx.recv(source=0, tag=0)
+                while err > 0.5:
+                    ctx.potential_checkpoint()
+                    err = refine(ctx, err)
+                ctx.send(err, dest=0, tag=0)
+                return err
+            """
+        )
+        assert "RPR012" in codes(result)
+
+
+class TestP2PCensus:
+    def test_unmatched_send_and_recv_each_fire(self):
+        result = check(
+            """
+            def main(ctx):
+                ctx.potential_checkpoint()
+                ctx.send(1.0, dest=0, tag=3)
+                x = ctx.recv(source=0, tag=4)
+                return x
+            """
+        )
+        assert codes(result).count("RPR013") == 2
+
+    def test_tags_resolved_via_module_constants(self):
+        result = check(
+            """
+            TAG_HALO = 11
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                ctx.send(1.0, dest=0, tag=TAG_HALO)
+                x = ctx.recv(source=1, tag=11)
+                return x
+            """
+        )
+        assert "RPR013" not in codes(result)
+
+    def test_wildcard_recv_matches_any_send(self):
+        result = check(
+            """
+            def main(ctx):
+                ctx.potential_checkpoint()
+                ctx.send(1.0, dest=0, tag=9)
+                x = ctx.recv(source=0)
+                return x
+            """
+        )
+        assert "RPR013" not in codes(result)
+
+    def test_dynamic_tag_send_matches_everything(self):
+        result = check(
+            """
+            def main(ctx):
+                ctx.potential_checkpoint()
+                ctx.send(1.0, dest=0, tag=ctx.rank)
+                x = ctx.recv(source=0, tag=5)
+                return x
+            """
+        )
+        assert "RPR013" not in codes(result)
+
+    def test_census_spans_functions(self):
+        # The send and its matching recv live in different unit
+        # functions; the census is whole-unit, so the pair matches.
+        result = check(
+            """
+            def push(ctx, x):
+                ctx.send(x, dest=0, tag=2)
+
+            def pull(ctx):
+                return ctx.recv(source=1, tag=2)
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                push(ctx, 1.0)
+                return pull(ctx)
+            """
+        )
+        assert "RPR013" not in codes(result)
+
+
+class TestBranchResolution:
+    def test_equivalent_helpers_suppress_rpr010(self):
+        # Both arms call a different helper, but both helpers reduce to
+        # the same collective sequence — resolution proves equivalence.
+        result = check(
+            """
+            def sum_all(ctx, x):
+                return ctx.allreduce(x, op="sum")
+
+            def max_all(ctx, x):
+                return ctx.allreduce(x, op="max")
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                if ctx.rank % 2 == 0:
+                    y = sum_all(ctx, 1.0)
+                else:
+                    y = max_all(ctx, 1.0)
+                return y
+            """
+        )
+        assert "RPR010" not in codes(result)
+
+    def test_divergent_helpers_still_fire(self):
+        result = check(
+            """
+            def noisy(ctx, x):
+                ctx.barrier()
+                return ctx.allreduce(x, op="sum")
+
+            def quiet(ctx, x):
+                return x
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                if ctx.rank % 2 == 0:
+                    y = noisy(ctx, 1.0)
+                else:
+                    y = quiet(ctx, 1.0)
+                return y
+            """
+        )
+        assert "RPR010" in codes(result)
+
+
+class TestLaplaceRegression:
+    def test_laplace_halo_exchange_verifies_clean(self):
+        # The rank-parity halo exchange used to need a hand-written p2p
+        # carve-out; the interprocedural census must now prove it
+        # balanced on its own.
+        from repro.apps import laplace  # noqa: F401  (registers the app)
+
+        result = check_app("laplace")
+        assert result.ok, [d.code for d in result.diagnostics]
+        assert codes(result) == []

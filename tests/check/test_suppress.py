@@ -1,0 +1,163 @@
+"""Suppression comments: parsing, line/file scoping, the RPR090
+unused-suppression lint, and the suppressed record on results."""
+
+import textwrap
+
+from repro.check import check_source, find_suppressions
+
+
+def check(source: str):
+    return check_source(textwrap.dedent(source), file="<test>")
+
+
+def codes(result) -> list[str]:
+    return sorted(d.code for d in result.diagnostics)
+
+
+class TestParsing:
+    def test_line_scope(self):
+        sups = find_suppressions(
+            "x = 1  # repro: ignore[RPR020]\n", "<test>"
+        )
+        assert len(sups) == 1
+        assert sups[0].codes == ("RPR020",)
+        assert sups[0].line == 1
+        assert not sups[0].file_scope
+
+    def test_multiple_codes(self):
+        sups = find_suppressions(
+            "y = 2  # repro: ignore[RPR020, RPR021]\n", "<test>"
+        )
+        assert sups[0].codes == ("RPR020", "RPR021")
+
+    def test_file_scope(self):
+        sups = find_suppressions(
+            "# repro: ignore-file[RPR031]\n", "<test>"
+        )
+        assert sups[0].file_scope
+
+    def test_describe_round_trips(self):
+        sups = find_suppressions(
+            "z = 3  # repro: ignore[RPR021,RPR020]\n", "<test>"
+        )
+        assert sups[0].describe() == "# repro: ignore[RPR021,RPR020]"
+
+
+class TestFiltering:
+    def test_line_suppression_moves_finding_to_suppressed(self):
+        result = check(
+            """
+            import random
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                x = random.random()  # repro: ignore[RPR020]
+                return ctx.allreduce(x, op="sum")
+            """
+        )
+        assert codes(result) == []
+        assert [d.code for d in result.suppressed] == ["RPR020"]
+        assert result.ok
+
+    def test_suppression_on_other_line_does_not_apply(self):
+        result = check(
+            """
+            import random
+
+            def main(ctx):
+                ctx.potential_checkpoint()  # repro: ignore[RPR020]
+                x = random.random()
+                return ctx.allreduce(x, op="sum")
+            """
+        )
+        assert "RPR020" in codes(result)
+        # ...and the misplaced suppression is itself flagged as stale.
+        assert "RPR090" in codes(result)
+
+    def test_file_scope_covers_every_line(self):
+        result = check(
+            """
+            # repro: ignore-file[RPR021]
+            import time
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                a = time.time()
+                b = time.perf_counter()
+                return ctx.allreduce(a + b, op="sum")
+            """
+        )
+        assert codes(result) == []
+        assert [d.code for d in result.suppressed] == ["RPR021", "RPR021"]
+
+    def test_wrong_code_does_not_suppress(self):
+        result = check(
+            """
+            import random
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                x = random.random()  # repro: ignore[RPR021]
+                return ctx.allreduce(x, op="sum")
+            """
+        )
+        assert "RPR020" in codes(result)
+
+
+class TestUnusedLint:
+    def test_unused_line_suppression_fires_rpr090(self):
+        result = check(
+            """
+            def main(ctx):
+                ctx.potential_checkpoint()
+                x = 1.0  # repro: ignore[RPR020]
+                return ctx.allreduce(x, op="sum")
+            """
+        )
+        assert codes(result) == ["RPR090"]
+        diag = next(d for d in result.diagnostics if d.code == "RPR090")
+        assert "RPR020" in diag.message
+        assert diag.function == "main"
+
+    def test_module_level_suppression_attributes_to_module(self):
+        result = check(
+            """
+            # repro: ignore-file[RPR031]
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                return ctx.allreduce(1.0, op="sum")
+            """
+        )
+        diag = next(d for d in result.diagnostics if d.code == "RPR090")
+        assert diag.function == "<module>"
+
+    def test_used_suppression_is_not_stale(self):
+        result = check(
+            """
+            import random
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                x = random.random()  # repro: ignore[RPR020]
+                return ctx.allreduce(x, op="sum")
+            """
+        )
+        assert "RPR090" not in codes(result)
+
+    def test_partially_used_suppression_flags_stale_code(self):
+        # One comment lists two codes; only one matches a finding.  The
+        # unmatched code is individually stale.
+        result = check(
+            """
+            import random
+
+            def main(ctx):
+                ctx.potential_checkpoint()
+                x = random.random()  # repro: ignore[RPR020, RPR021]
+                return ctx.allreduce(x, op="sum")
+            """
+        )
+        assert codes(result) == ["RPR090"]
+        diag = next(d for d in result.diagnostics if d.code == "RPR090")
+        assert "RPR021" in diag.message
