@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Tour of ``repro-check`` v2: findings, suppressions, and ``--fix``.
+"""Tour of ``repro-check`` v3: findings, suppressions, and ``--fix``.
 
 Feeds a deliberately broken checkpointable app (kept in a string so this
 tour itself verifies clean) through the checker API: show the findings
 the flow- and alias-aware analyses produce, silence one with a
-``# repro: ignore[...]`` comment, then let the mechanical fixer rewrite
-the nondeterminism and print the before/after diff.
+``# repro: ignore[...]`` comment, let the mechanical fixer rewrite the
+nondeterminism and print the before/after diff, then show the v3 escape
+autofix turning a leaking module global into a registered
+``checkpointable_state(...)`` declaration.
 
 Run:  python examples/check_fix_tour.py
 
@@ -72,7 +74,8 @@ def show_suppression() -> None:
 
 
 def show_fixes() -> None:
-    """The mechanical fixer rewrites entropy and clock reads."""
+    """The mechanical fixer rewrites entropy and clock reads, and
+    registers the aliased global from the RPR033 while it is at it."""
     fixes = propose_fixes(BROKEN_APP, file="broken_app.py")
     fixed = apply_fixes(BROKEN_APP, fixes)
     print(f"== --fix proposes {len(fixes)} rewrite(s) ==")
@@ -84,10 +87,40 @@ def show_fixes() -> None:
     print(f"  a second --fix pass proposes {len(rerun)} rewrite(s) (idempotent)")
 
 
+ESCAPING_APP = '''\
+RESULTS = {"last": None}
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    x = ctx.allreduce(1.0, op="sum")
+    RESULTS["last"] = x              # state escaping checkpoints (RPR030)
+    return x
+'''
+
+
+def show_escape_fix() -> None:
+    """v3: escape findings get a declarative fix, not a code rewrite.
+
+    A store through a module global is real state the checkpointer cannot
+    see; the fixer registers it with the state-saving layer instead of
+    rewriting the store away.
+    """
+    fixes = propose_fixes(ESCAPING_APP, file="escaping_app.py")
+    fixed = apply_fixes(ESCAPING_APP, fixes)
+    print(f"== escape autofix: {len(fixes)} insertion(s) ==")
+    print(render_diff(ESCAPING_APP, fixed, "escaping_app.py"))
+    after = check_source(fixed, file="escaping_app.py")
+    print(f"  findings after the fix: {[d.code for d in after.diagnostics]}")
+    print(f"  a second --fix pass proposes "
+          f"{len(propose_fixes(fixed, file='escaping_app.py'))} rewrite(s)")
+
+
 def main() -> None:
     show_findings()
     show_suppression()
     show_fixes()
+    show_escape_fix()
 
 
 if __name__ == "__main__":

@@ -3,6 +3,7 @@
 from repro.apps.dense_cg import CGParams
 from repro.apps.laplace import LaplaceParams
 from repro.apps.neurosys import NeurosysParams
+from repro.apps.stencil3d import Stencil3DParams
 from repro.apps.workloads import (
     ALL_CHARTS,
     DEFAULT_CHECKPOINT_INTERVAL,
@@ -11,6 +12,7 @@ from repro.apps.workloads import (
     LAPLACE_POINTS,
     NEUROSYS_POINTS,
     PAPER_NPROCS,
+    STENCIL3D_POINTS,
     WorkloadPoint,
 )
 
@@ -25,5 +27,7 @@ __all__ = [
     "NEUROSYS_POINTS",
     "NeurosysParams",
     "PAPER_NPROCS",
+    "STENCIL3D_POINTS",
+    "Stencil3DParams",
     "WorkloadPoint",
 ]

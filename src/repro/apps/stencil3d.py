@@ -1,0 +1,146 @@
+"""3D heat stencil (gallery app; deliberately split across two modules).
+
+A 7-point Jacobi relaxation on an ``n³`` field with fixed (Dirichlet)
+boundary faces, block-distributed by z-planes with one halo plane per
+interior edge — the volumetric sibling of the paper's Laplace benchmark
+(Section 6.1), with the same communication shape one dimension up: each
+iteration exchanges boundary planes with the z-neighbours, averages the
+six face neighbours, and ends at a ``potential_checkpoint()``.
+
+The halo exchange lives in :mod:`repro.apps.stencil3d_halo`.  The split
+is the point: ``repro-check``'s import-graph slicer joins the sibling
+module into the checked unit, so this two-file app verifies exactly like
+its single-file merge — and the precompiler compiles the pair into one
+unit the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.registry import AppSpec, register
+from repro.apps.stencil3d_halo import halo_exchange_z
+from repro.precompiler.api import PrecompiledApp, Precompiler
+
+
+@dataclass(frozen=True)
+class Stencil3DParams:
+    """Scaled sizes: the gallery default keeps a run under a second."""
+
+    n: int = 16
+    iterations: int = 12
+    compute_charge: bool = True
+
+    def state_bytes(self, nprocs: int) -> int:
+        """Per-rank state: owned planes plus two halo planes."""
+        return (self.n // nprocs + 2) * self.n * self.n * 8
+
+
+def _plane_block(rank: int, size: int, n: int) -> tuple[int, int]:
+    base = n // size
+    extra = n % size
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def make_initial_field(n: int) -> np.ndarray:
+    """Deterministic initial condition: hot floor, cold ceiling."""
+    field = np.zeros((n, n, n))
+    field[0, :, :] = 100.0
+    field[-1, :, :] = -40.0
+    field[:, 0, :] = 25.0
+    field[:, -1, :] = 25.0
+    field[:, :, 0] = 50.0
+    field[:, :, -1] = 50.0
+    return field
+
+
+def stencil3d_reference(n: int, iterations: int) -> np.ndarray:
+    """Serial 7-point Jacobi reference for correctness tests."""
+    field = make_initial_field(n)
+    for _ in range(iterations):
+        inner = (
+            field[:-2, 1:-1, 1:-1] + field[2:, 1:-1, 1:-1]
+            + field[1:-1, :-2, 1:-1] + field[1:-1, 2:, 1:-1]
+            + field[1:-1, 1:-1, :-2] + field[1:-1, 1:-1, 2:]
+        ) / 6.0
+        new = field.copy()
+        new[1:-1, 1:-1, 1:-1] = inner
+        field = new
+    return field
+
+
+# --------------------------------------------------------------------- #
+# The parallel application (precompiled unit spanning two modules).
+# --------------------------------------------------------------------- #
+
+def stencil3d_main(ctx):
+    """Entry point: z-block Jacobi iteration with sibling halo exchange."""
+    n = ctx.params.n
+    iterations = ctx.params.iterations
+    lo, hi = _plane_block(ctx.rank, ctx.size, n)
+    full = make_initial_field(n)
+    # Owned z-planes plus one halo plane on each side.
+    block = np.zeros((hi - lo + 2, n, n))
+    block[1:-1] = full[lo:hi]
+    if lo > 0:
+        block[0] = full[lo - 1]
+    if hi < n:
+        block[-1] = full[hi]
+    it = 0
+    while it < iterations:
+        halo_exchange_z(ctx, block)
+        inner = (
+            block[:-2, 1:-1, 1:-1] + block[2:, 1:-1, 1:-1]
+            + block[1:-1, :-2, 1:-1] + block[1:-1, 2:, 1:-1]
+            + block[1:-1, 1:-1, :-2] + block[1:-1, 1:-1, 2:]
+        ) / 6.0
+        if ctx.params.compute_charge:
+            ctx.compute(flops=7.0 * (hi - lo) * n * n)
+        # Fixed boundary: global floor/ceiling planes and the side faces
+        # keep their values; interior cells take the Jacobi average.
+        update = block[1:-1].copy()
+        zlo = 1 if lo == 0 else 0
+        zhi = (hi - lo) - 1 if hi == n else (hi - lo)
+        update[zlo:zhi, 1:-1, 1:-1] = inner[zlo:zhi, :, :]
+        block[1:-1] = update
+        it += 1
+    owned = block[1:-1]
+    return {
+        "checksum": float(owned.sum()),
+        "max": float(owned.max()),
+        "planes": (lo, hi),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Harness glue.
+# --------------------------------------------------------------------- #
+
+_UNIT = None
+
+
+def unit():
+    global _UNIT
+    if _UNIT is None:
+        _UNIT = Precompiler(
+            [stencil3d_main, halo_exchange_z], unit_name="stencil3d"
+        ).compile()
+    return _UNIT
+
+
+def build(params: Stencil3DParams) -> PrecompiledApp:
+    return PrecompiledApp(unit(), entry="stencil3d_main", params=params)
+
+
+SPEC = register(
+    AppSpec(
+        name="stencil3d",
+        factory=build,
+        default_params=Stencil3DParams(),
+        description="3D heat stencil (two-module gallery app)",
+    )
+)

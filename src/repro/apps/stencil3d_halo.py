@@ -1,0 +1,33 @@
+"""Z-halo exchange for the 3D stencil app (the sibling-module half).
+
+This module exists *separately* from :mod:`repro.apps.stencil3d` on
+purpose: the pair is the gallery's demonstration that ``repro-check``'s
+import-graph slicer verifies a multi-file application as one unit.
+Checking ``stencil3d.py`` pulls :func:`halo_exchange_z` (and these tag
+constants, scoped to this module) into the checked unit exactly as if
+the two files were one.
+"""
+
+from __future__ import annotations
+
+TAG_ZLO = 21  # data flowing to the rank below (lower z planes)
+TAG_ZHI = 22  # data flowing to the rank above
+
+
+def halo_exchange_z(ctx, block):
+    """Exchange boundary z-planes with the neighbours below and above.
+
+    ``block`` has one halo plane at each end; owned planes are
+    ``block[1:-1]``.
+    """
+    below = ctx.rank - 1
+    above = ctx.rank + 1
+    if below >= 0:
+        ctx.mpi.send(block[1].copy(), below, tag=TAG_ZLO)
+    if above < ctx.size:
+        ctx.mpi.send(block[-2].copy(), above, tag=TAG_ZHI)
+    if below >= 0:
+        block[0] = ctx.mpi.recv(source=below, tag=TAG_ZHI)
+    if above < ctx.size:
+        block[-1] = ctx.mpi.recv(source=above, tag=TAG_ZLO)
+    ctx.potential_checkpoint()

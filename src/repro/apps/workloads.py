@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api.registry import AppSpec
-from repro.apps import dense_cg, laplace, neurosys
+from repro.apps import dense_cg, laplace, neurosys, stencil3d
 from repro.apps.dense_cg import CGParams
 from repro.apps.laplace import LaplaceParams
 from repro.apps.neurosys import NeurosysParams
+from repro.apps.stencil3d import Stencil3DParams
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,16 @@ NEUROSYS_POINTS = (
                   NeurosysParams(grid=64, iterations=40)),
 )
 
+#: Gallery extra (not a Figure 8 chart): the 3D stencil extends the
+#: Laplace communication pattern by a dimension and is deliberately
+#: split across two source modules to exercise cross-module checking.
+STENCIL3D_POINTS = (
+    WorkloadPoint("stencil3d", "64x64x64", "4.2MB",
+                  Stencil3DParams(n=16, iterations=12)),
+    WorkloadPoint("stencil3d", "128x128x128", "33MB",
+                  Stencil3DParams(n=24, iterations=12)),
+)
+
 ALL_CHARTS = {
     "dense_cg": DENSE_CG_POINTS,
     "laplace": LAPLACE_POINTS,
@@ -73,11 +84,12 @@ ALL_CHARTS = {
 }
 
 #: The registered application catalogue (importing this module registers
-#: all three paper applications; :func:`repro.get_app` autoloads it).
+#: every gallery application; :func:`repro.get_app` autoloads it).
 APP_SPECS: dict[str, AppSpec] = {
     "dense_cg": dense_cg.SPEC,
     "laplace": laplace.SPEC,
     "neurosys": neurosys.SPEC,
+    "stencil3d": stencil3d.SPEC,
 }
 
 #: The paper ran 16 processors (of the 64-node CMI cluster).

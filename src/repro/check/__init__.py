@@ -15,12 +15,16 @@ Analyses (see :mod:`repro.check.analyses`):
   transformable-subset rules, reported exhaustively with spans;
 * **collective-matching** (``RPR010``/``RPR011``) — per-function
   collective-call-sequence check (the paper requires all processes to
-  execute the same sequence of collectives), refined interprocedurally:
-  branch arms whose *resolved* summaries match do not fire;
-* **collective-sequencing** (``RPR012``/``RPR013``) — interprocedural
+  execute the same sequence of collectives), refined interprocedurally
+  and *path-sensitively*: branch arms whose resolved summaries match do
+  not fire, rank-uniform predicates are exempt, and repeated branches on
+  the same uniform predicate correlate (their summaries merge per path);
+* **collective-sequencing** (``RPR012``–``RPR014``) — interprocedural
   sequencing hazards: rank-divergent loops executing collectives, and
   point-to-point tags with traffic in only one direction (this replaced
-  the v1 p2p carve-out);
+  the v1 p2p carve-out); ``RPR014`` upgrades the finding when the
+  guarding predicate is *provably* rank-divergent (it reads ``ctx.rank``
+  or received data directly);
 * **unlogged-nondeterminism** (``RPR020``/``RPR021``) — nondeterministic
   stdlib calls the protocol's result log cannot replay;
 * **VDS-escape** (``RPR030``–``RPR034``) — state that escapes the
@@ -31,6 +35,10 @@ Analyses (see :mod:`repro.check.analyses`):
 * **checkpoint-placement** (``RPR040``/``RPR041``) — communication loops
   with no reachable ``potential_checkpoint`` (unbounded re-execution on
   recovery);
+* **cross-module** (``RPR050``/``RPR051``) — sibling-module helper
+  references the driver's import-graph slicer could not join into the
+  unit (the resolvable ones *do* join: ``app.py`` + ``halo.py`` verifies
+  exactly like its single-file merge);
 * **suppressions** (``RPR090``) — ``# repro: ignore[RPR0xx]`` comments
   that silence nothing.
 
@@ -39,10 +47,15 @@ Entry points (:mod:`repro.check.driver`): :func:`check_functions`,
 :func:`preflight` (what ``Session.run(check=...)`` and chaos campaigns
 call).  The ``repro-check`` console script / ``python -m repro.check``
 lints from the command line; ``--fix`` proposes (and ``--fix --write``
-applies) span-anchored rewrites for the mechanical findings (see
-:mod:`repro.check.fixes`).
+applies) span-anchored rewrites for the mechanical findings — including
+the escape family, which rewrites into ``checkpointable_state(...)``
+registrations — and prunes suppressions the fixes made stale (see
+:mod:`repro.check.fixes`).  ``--format sarif`` emits SARIF 2.1.0
+(:mod:`repro.check.sarif`); ``--cache-dir`` enables the content-hash
+incremental cache (:mod:`repro.check.cache`).
 """
 
+from repro.check.cache import ANALYSIS_VERSION, CheckCache
 from repro.check.diagnostics import (
     CODES,
     SCHEMA,
@@ -60,15 +73,24 @@ from repro.check.driver import (
     check_module,
     check_path,
     check_source,
+    import_closure,
     preflight,
     run_unit_checks,
 )
-from repro.check.fixes import FixProposal, apply_fixes, propose_fixes
+from repro.check.fixes import (
+    FixProposal,
+    apply_fixes,
+    propose_fixes,
+    prune_stale_suppressions,
+)
+from repro.check.sarif import render_sarif, sarif_payload
 from repro.check.suppress import Suppression, find_suppressions
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "CODES",
     "SCHEMA",
+    "CheckCache",
     "CheckResult",
     "CodeInfo",
     "Diagnostic",
@@ -83,9 +105,13 @@ __all__ = [
     "check_path",
     "check_source",
     "find_suppressions",
+    "import_closure",
     "preflight",
     "propose_fixes",
+    "prune_stale_suppressions",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_unit_checks",
+    "sarif_payload",
 ]

@@ -64,10 +64,14 @@ class AliasFacts:
         functions: dict[str, ast.FunctionDef],
         analysis: UnitAnalysis,
         mutator_names: frozenset[str],
+        registered: Optional[dict[str, set[str]]] = None,
     ) -> None:
         self.functions = functions
         self.analysis = analysis
         self.mutator_names = mutator_names
+        #: Per-function sets of module globals registered as managed state
+        #: via ``checkpointable_state(...)`` — mutating those is fine.
+        self.registered = dict(registered or {})
         self.alias_locals: dict[str, set[str]] = {n: set() for n in functions}
         self.holds_locals: dict[str, set[str]] = {n: set() for n in functions}
         self.returns_nonlocal: dict[str, bool] = {n: False for n in functions}
@@ -88,11 +92,13 @@ class AliasFacts:
 
     def _is_nonlocal_name(self, fn_name: str, name: str) -> bool:
         """A name whose binding lives outside the checkpointed frame set:
-        not a local, not the comm root, not a unit function."""
+        not a local, not the comm root, not a unit function, and not a
+        global registered as managed checkpointable state."""
         return (
             name not in self._locals_of(fn_name)
             and name not in self._comm_names(fn_name)
             and name not in self.functions
+            and name not in self.registered.get(fn_name, ())
         )
 
     def region_of(self, fn_name: str, expr: Optional[ast.expr]) -> str:

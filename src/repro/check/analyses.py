@@ -1,4 +1,4 @@
-"""The five analyses behind ``repro-check``.
+"""The analysis battery behind ``repro-check``.
 
 Each analysis is a function ``(unit: CheckedUnit) -> list[Diagnostic]``;
 :data:`ANALYSES` is the battery the driver runs.  All of them operate on
@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 from repro.check.alias import AliasFacts
-from repro.check.callgraph import UnitCallGraph
+from repro.check.callgraph import DIVERGENT, UNIFORM, UnitCallGraph
 from repro.check.cfg import collectives_in, equivalent, has_unknown
 from repro.check.diagnostics import Diagnostic, Span
 from repro.precompiler.analysis import (
@@ -99,7 +99,8 @@ _SUBSET_HINTS = {
     "RPR004": "assign the call result to a local first, then test it",
     "RPR005": "the checkpointable subset is synchronous; remove async/await",
     "RPR006": "rewrite the generator as a loop accumulating into a list",
-    "RPR007": "pass state explicitly or use the globals registry",
+    "RPR007": ("pass state explicitly or register the global with "
+               "checkpointable_state(...)"),
     "RPR008": "move the else-arm after the loop (guarded by a flag)",
 }
 
@@ -118,9 +119,22 @@ class CheckedUnit:
     #: Module-level integer/string constants visible to the unit (tag
     #: names like ``TAG_UP = 12``), resolved by the driver from source.
     constants: dict[str, object] = field(default_factory=dict)
+    #: Per-file constant tables for cross-module units: each function's
+    #: names resolve against its *own* module's constants.  Empty when the
+    #: unit is single-module (the flat ``constants`` table then applies).
+    file_constants: dict[str, dict[str, object]] = field(default_factory=dict)
+    #: Per-file sets of globals registered via ``checkpointable_state``.
+    registered_globals: dict[str, set[str]] = field(default_factory=dict)
+    #: Driver-produced cross-module diagnostics (RPR050/051) rendered by
+    #: the :func:`cross_module_imports` analysis.
+    import_diagnostics: list[Diagnostic] = field(default_factory=list)
 
     def file_of(self, name: str) -> str:
         return self.files.get(name, "<unknown>")
+
+    def registered_of(self, name: str) -> set[str]:
+        """Globals registered as managed state in ``name``'s module."""
+        return self.registered_globals.get(self.file_of(name), set())
 
     def span(self, name: str, node: ast.AST) -> Span:
         return Span.of(node, self.file_of(name))
@@ -187,6 +201,14 @@ class CheckedUnit:
     def callgraph(self) -> UnitCallGraph:
         """Summaries + rank-divergence taint + p2p census for the unit."""
         if not hasattr(self, "_callgraph"):
+            by_function: Optional[dict[str, dict[str, object]]] = None
+            if self.file_constants:
+                by_function = {
+                    name: self.file_constants.get(
+                        self.file_of(name), self.constants
+                    )
+                    for name in self.functions
+                }
             self._callgraph = UnitCallGraph(
                 self.functions,
                 self.analysis,
@@ -194,6 +216,7 @@ class CheckedUnit:
                 COLLECTIVE_NAMES,
                 P2P_NAMES,
                 NONDET_PREFIXES,
+                constants_by_function=by_function,
             )
         return self._callgraph
 
@@ -201,8 +224,12 @@ class CheckedUnit:
     def aliasfacts(self) -> AliasFacts:
         """Points-to regions and escape summaries for the unit."""
         if not hasattr(self, "_aliasfacts"):
+            registered = {
+                name: self.registered_of(name) for name in self.functions
+            }
             self._aliasfacts = AliasFacts(
-                self.functions, self.analysis, MUTATOR_NAMES
+                self.functions, self.analysis, MUTATOR_NAMES,
+                registered=registered,
             )
         return self._aliasfacts
 
@@ -259,10 +286,16 @@ def collective_matching(unit: CheckedUnit) -> list[Diagnostic]:
     Per function, the analysis extracts the *collective sequence* of every
     straight-line region (direct ``ctx.<collective>()`` calls plus calls to
     unit functions that transitively perform collectives) and requires the
-    two arms of every ``if`` to produce equal sequences (``RPR010``).  A
-    conditional ``return``/``break`` with collectives still ahead in the
-    enclosing region earns a ``RPR011`` warning: the exiting process would
-    skip them while its peers block.
+    two arms of every ``if`` to produce equal sequences.  Path-sensitive
+    refinement (v3) consults the branch predicate's rank-divergence
+    verdict first: a *uniform* predicate means every rank takes the same
+    arm, so differing arms are fine; a *divergent* predicate (``ctx.rank``
+    or received data syntactically in the test) upgrades the mismatch to
+    ``RPR014`` (the divergence is provable); anything in between stays
+    ``RPR010``.  A conditional ``return``/``break`` under a non-uniform
+    predicate with collectives still ahead in the enclosing region earns a
+    ``RPR011`` warning: the exiting process would skip them while its
+    peers block.
     """
     out: list[Diagnostic] = []
 
@@ -302,35 +335,61 @@ def collective_matching(unit: CheckedUnit) -> list[Diagnostic]:
                 toks += tokens_of(s.test, fn_name)
                 then_seq = seq_of(s.body, fn_name)
                 else_seq = seq_of(s.orelse, fn_name)
+                verdict = unit.callgraph.predicate_verdict(fn_name, s.test)
                 mismatch = then_seq != else_seq
-                if mismatch and any(
-                    t.startswith("call:") for t in then_seq + else_seq
-                ):
+                if mismatch and verdict == UNIFORM:
+                    # Every rank evaluates the same predicate value, so
+                    # all of them take the same arm: asymmetric arms are
+                    # not a protocol divergence (the v2 RPR010
+                    # false-positive family).
+                    mismatch = False
+                if mismatch:
                     # The token view differs, but resolving unit calls to
                     # their own collective summaries may prove both arms
                     # execute the same protocol (e.g. each arm calls a
-                    # different helper wrapping the same allreduce).
+                    # different helper wrapping the same allreduce, or
+                    # correlated uniform sub-branches merge per path).
                     then_res = unit.callgraph.resolve_block(fn_name, s.body)
                     else_res = unit.callgraph.resolve_block(fn_name, s.orelse)
                     if equivalent(then_res, else_res) \
                             and not has_unknown(then_res):
                         mismatch = False
                 if mismatch:
+                    divergent = verdict == DIVERGENT
                     out.append(Diagnostic(
-                        code="RPR010",
+                        code="RPR014" if divergent else "RPR010",
                         message=(
-                            "branch arms execute different collective "
-                            f"sequences: {then_seq or ['<none>']} vs "
+                            (
+                                "branch predicate is provably rank-"
+                                "divergent and the arms execute different "
+                                if divergent else
+                                "branch arms execute different "
+                            )
+                            + "collective sequences: "
+                            f"{then_seq or ['<none>']} vs "
                             f"{else_seq or ['<none>']}"
                         ),
                         span=unit.span(fn_name, s),
                         function=fn_name,
                         hint=(
-                            "all ranks must execute the same collectives; "
-                            "hoist the collective out of the branch"
+                            (
+                                "the predicate reads ctx.rank/received "
+                                "data, so ranks take different arms; "
+                                "broadcast the decision or hoist the "
+                                "collective out of the branch"
+                            ) if divergent else (
+                                "all ranks must execute the same "
+                                "collectives; hoist the collective out of "
+                                "the branch"
+                            )
                         ),
                     ))
-                elif has_exit(s.body) or has_exit(s.orelse):
+                elif (
+                    verdict != UNIFORM
+                    and (has_exit(s.body) or has_exit(s.orelse))
+                ):
+                    # A uniform predicate exits on every rank together —
+                    # only rank-divergent exits can strand peers.
                     exits.append((s, len(toks)))
                 toks += then_seq
             elif isinstance(s, (ast.For, ast.While)):
@@ -388,6 +447,10 @@ def collective_sequencing(unit: CheckedUnit) -> list[Diagnostic]:
     collectives.  Ranks iterate different counts, so some rank eventually
     blocks in a collective its peers never enter: the classic
     ``while local_err > tol: allreduce(...)`` convergence deadlock.
+    When the divergence source appears *syntactically in the guard itself*
+    (``while ctx.recv(...)``, ``for i in range(ctx.rank)``), divergence is
+    provable rather than merely possible and the finding upgrades to
+    ``RPR014``.
 
     ``RPR013``: a point-to-point tag with traffic in only one direction
     anywhere in the unit (sends nobody receives, or receives nobody
@@ -406,16 +469,22 @@ def collective_sequencing(unit: CheckedUnit) -> list[Diagnostic]:
                 kind = "for iterable"
             else:
                 continue
-            if not cg.expr_tainted(name, guard):
+            verdict = cg.predicate_verdict(name, guard)
+            if verdict == UNIFORM:
                 continue
             body = cg.resolve_block(name, node.body)
             colls = collectives_in(body)
             if colls:
+                divergent = verdict == DIVERGENT
                 out.append(Diagnostic(
-                    code="RPR012",
+                    code="RPR014" if divergent else "RPR012",
                     message=(
-                        f"loop {kind} may differ across ranks but the "
-                        f"body executes collective(s) "
+                        (
+                            f"loop {kind} is provably rank-divergent "
+                            if divergent else
+                            f"loop {kind} may differ across ranks "
+                        )
+                        + "but the body executes collective(s) "
                         f"{', '.join(colls)}; ranks iterate different "
                         "counts and deadlock"
                     ),
@@ -562,7 +631,10 @@ def vds_escape(unit: CheckedUnit) -> list[Diagnostic]:
     out: list[Diagnostic] = []
     for name, tree in unit.functions.items():
         local = unit.locals_of(name)
-        exempt = local | set(unit.comm_names(name))
+        # Globals registered via checkpointable_state(...) are managed by
+        # the globals registry (snapshotted/restored with every
+        # checkpoint), so mutating them is not an escape.
+        exempt = local | set(unit.comm_names(name)) | unit.registered_of(name)
 
         # RPR031: mutable default arguments (shared across calls; their
         # mutation is invisible to frame capture).
@@ -597,8 +669,9 @@ def vds_escape(unit: CheckedUnit) -> list[Diagnostic]:
                                 function=name,
                                 hint=(
                                     "thread the object through parameters/"
-                                    "locals, or register it with the "
-                                    "globals registry"
+                                    "locals, or register it with "
+                                    'checkpointable_state("'
+                                    f'{root}")'
                                 ),
                             ))
             # RPR030 (calls): GLOBAL.append(x) and friends.
@@ -742,7 +815,8 @@ def aliased_escape(unit: CheckedUnit) -> list[Diagnostic]:
             function=m.function,
             hint=(
                 f"{m.local!r} points at module-level state; thread the "
-                "object through parameters/locals or the globals registry"
+                "object through parameters/locals or register the global "
+                "with checkpointable_state(...)"
             ),
         ))
     for e in facts.escaping_args():
@@ -761,6 +835,24 @@ def aliased_escape(unit: CheckedUnit) -> list[Diagnostic]:
             ),
         ))
     return out
+
+
+# ---------------------------------------------------------------------- #
+# cross-module (RPR050, RPR051)
+# ---------------------------------------------------------------------- #
+
+def cross_module_imports(unit: CheckedUnit) -> list[Diagnostic]:
+    """Render the driver's import-graph slicing findings.
+
+    The slicer (``repro.check.driver``) resolves ``from sibling import
+    helper`` / ``import sibling as H`` against files next to the checked
+    module and joins the resolved helpers into the unit.  What it could
+    *not* resolve surfaces here: ``RPR050`` for a missing/aliased/
+    colliding helper (the call is then analysed as an opaque library call,
+    losing its collective/taint/escape summary) and ``RPR051`` for star
+    imports (which hide which helpers exist at all).
+    """
+    return list(unit.import_diagnostics)
 
 
 # ---------------------------------------------------------------------- #
@@ -868,5 +960,6 @@ ANALYSES: tuple[Callable[[CheckedUnit], list[Diagnostic]], ...] = (
     unlogged_nondeterminism,
     vds_escape,
     aliased_escape,
+    cross_module_imports,
     checkpoint_placement,
 )

@@ -1,0 +1,95 @@
+"""Incremental result cache for ``repro-check`` (content-hash keyed).
+
+Re-checking an unchanged module is pure waste: the analyses are
+deterministic functions of the module's source text, the sources of the
+sibling modules the import-graph slicer can join, and the analyzer build
+itself.  The cache key is therefore a digest over exactly those inputs::
+
+    sha256(SCHEMA | ANALYSIS_VERSION | sorted (path, content) pairs)
+
+where the pairs cover the target file plus its one-level sibling import
+closure (:func:`repro.check.driver.import_closure`) — editing ``halo.py``
+invalidates the cached verdict of every app that imports it, while an
+untouched app hits the cache even across analyzer restarts.
+
+Entries are JSON files (one per key, farm-cell style) holding the
+serialized :class:`~repro.check.diagnostics.CheckResult`; a hit is
+rehydrated with :meth:`CheckResult.from_dict` and is indistinguishable
+from a fresh run.  Cache metrics land in the module-level ``METRICS``
+registry (``repro.metrics/1``): ``check.cache.hit`` / ``check.cache.miss``
+counters and a ``check.seconds`` histogram observed by the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.check.diagnostics import SCHEMA, CheckResult
+from repro.check.driver import import_closure
+from repro.trace.metrics import MetricsRegistry
+
+#: Bump when any analysis changes behaviour without a schema bump — the
+#: salt makes stale caches miss instead of replaying outdated verdicts.
+ANALYSIS_VERSION = 3
+
+#: Process-wide cache metrics; ``repro-check`` folds these into its
+#: summary and tests assert on the hit/miss counters.
+METRICS = MetricsRegistry()
+
+
+class CheckCache:
+    """Content-hash keyed store of :class:`CheckResult` payloads."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def key_for(path: str) -> str:
+        """Digest of the file, its sibling import closure, and the
+        analyzer build."""
+        h = hashlib.sha256()
+        h.update(SCHEMA.encode("utf-8"))
+        h.update(str(ANALYSIS_VERSION).encode("utf-8"))
+        pairs: list[tuple[str, bytes]] = []
+        for member in import_closure(path):
+            try:
+                with open(member, "rb") as fh:
+                    content = fh.read()
+            except OSError:
+                content = b"<unreadable>"
+            pairs.append((os.path.basename(member), content))
+        for name, content in sorted(pairs):
+            h.update(b"\x00")
+            h.update(name.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(content)
+        return h.hexdigest()
+
+    def _entry(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key: str) -> Optional[CheckResult]:
+        """The cached result, or ``None`` (counts hit/miss either way)."""
+        entry = self._entry(key)
+        try:
+            with open(entry, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            result = CheckResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            METRICS.count("check.cache.miss")
+            return None
+        METRICS.count("check.cache.hit")
+        return result
+
+    def put(self, key: str, result: CheckResult) -> None:
+        entry = self._entry(key)
+        tmp = entry + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=None, sort_keys=True)
+        os.replace(tmp, entry)

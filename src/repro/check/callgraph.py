@@ -52,6 +52,25 @@ DYNAMIC = "<dynamic>"
 #: Tag sentinel for an absent recv tag (matches any send).
 WILDCARD = "<any>"
 
+#: Predicate verdicts, ordered by how much we know about the predicate's
+#: cross-rank behaviour.  ``UNIFORM`` — every rank computes the same value
+#: (collective results, parameters, loop indices); ``TAINTED`` — the value
+#: *may* differ across ranks (flows from a divergence source); ``DIVERGENT``
+#: — a divergence source (``ctx.rank``, a receive result, an entropy draw)
+#: appears syntactically in the predicate itself, so divergence is provable
+#: along a feasible path.  DIVERGENT implies TAINTED.
+UNIFORM = "uniform"
+TAINTED = "tainted"
+DIVERGENT = "divergent"
+
+#: AST node types a predicate may consist of and still be considered
+#: *stable* (side-effect free, value determined by the names it reads) —
+#: the precondition for keying a :class:`~repro.check.cfg.Cond` on it.
+_STABLE_PREDICATE_NODES = (
+    ast.BoolOp, ast.UnaryOp, ast.BinOp, ast.Compare, ast.Name,
+    ast.Attribute, ast.Constant, ast.Tuple,
+)
+
 
 @dataclass(frozen=True)
 class P2PSite:
@@ -83,14 +102,25 @@ class UnitCallGraph:
         collective_names: frozenset[str],
         p2p_names: frozenset[str],
         nondet_prefixes: tuple[str, ...] = (),
+        constants_by_function: Optional[dict[str, dict[str, object]]] = None,
     ) -> None:
         self.functions = functions
         self.analysis = analysis
         self.constants = dict(constants)
+        #: Per-function constant environments (cross-module units resolve
+        #: each function's names against its *own* module's constants).
+        #: Falls back to the flat merged table when absent.
+        self.constants_by_function = dict(constants_by_function or {})
         self.collective_names = collective_names
         self.p2p_names = p2p_names
         self.nondet_prefixes = tuple(nondet_prefixes)
         self._unit_names = frozenset(functions)
+        self.tainted: dict[str, set[str]] = {}
+        self.returns_tainted: dict[str, bool] = {}
+        # Taint runs first: the summary builder's path-sensitivity hook
+        # (pred_key) consults taint facts to decide which branch
+        # predicates are rank-uniform.
+        self._run_taint_fixpoint()
         #: Raw (unresolved) per-function collective summaries.
         self.summaries: dict[str, Summary] = {
             name: function_summary(
@@ -98,13 +128,11 @@ class UnitCallGraph:
                 collective_names,
                 analysis.infos[name].comm_names,
                 self._unit_names,
+                pred_key=self._pred_key_for(name),
             )
             for name, tree in functions.items()
         }
         self._resolved_cache: dict[str, Summary] = {}
-        self.tainted: dict[str, set[str]] = {}
-        self.returns_tainted: dict[str, bool] = {}
-        self._run_taint_fixpoint()
 
     # -- summaries ----------------------------------------------------- #
 
@@ -126,8 +154,62 @@ class UnitCallGraph:
             self.collective_names,
             self.analysis.infos[fn_name].comm_names,
             self._unit_names,
+            pred_key=self._pred_key_for(fn_name),
         )
         return resolve(raw, self.summaries)
+
+    # -- path-sensitive predicate verdicts ----------------------------- #
+
+    def _pred_key_for(self, fn_name: str):
+        def pred_key(test: ast.expr) -> Optional[str]:
+            return self._predicate_key(fn_name, test)
+        return pred_key
+
+    def _predicate_key(self, fn_name: str, test: ast.expr) -> Optional[str]:
+        """Canonical key for a rank-uniform, side-effect-free predicate
+        (or None when the branch must stay an opaque Alt)."""
+        if not _is_stable_predicate(test):
+            return None
+        if self.expr_tainted(fn_name, test):
+            return None
+        return ast.dump(test, annotate_fields=False)
+
+    def predicate_verdict(self, fn_name: str, expr: Optional[ast.AST]) -> str:
+        """:data:`DIVERGENT` when a divergence source appears syntactically
+        in the predicate, :data:`TAINTED` when divergence merely may flow
+        into it, :data:`UNIFORM` otherwise."""
+        if expr is None:
+            return UNIFORM
+        if self._has_divergence_source(fn_name, expr):
+            return DIVERGENT
+        if self.expr_tainted(fn_name, expr):
+            return TAINTED
+        return UNIFORM
+
+    def _has_divergence_source(self, fn_name: str, expr: ast.AST) -> bool:
+        """Does a direct divergence source (``ctx.rank``, a receive result,
+        an entropy draw) appear syntactically inside ``expr``?"""
+        comm = self._comm_names(fn_name)
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Attribute):
+                if (
+                    attr_root(sub) in comm
+                    and sub.attr in _DIVERGENT_COMM_ATTRS
+                ):
+                    return True
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Attribute):
+                    root = attr_root(func)
+                    if root in comm:
+                        if func.attr in _DIVERGENT_COMM_RESULTS:
+                            return True
+                        chain = _attr_chain(func)
+                        if "rng" in chain[:-1]:
+                            return True
+                if self._matches_nondet(_dotted_name(func)):
+                    return True
+        return False
 
     # -- rank-divergence taint ----------------------------------------- #
 
@@ -312,17 +394,21 @@ class UnitCallGraph:
 
     # -- p2p census ----------------------------------------------------- #
 
-    def _tag_of(self, expr: Optional[ast.expr], default: object) -> object:
+    def _tag_of(
+        self, fn_name: str, expr: Optional[ast.expr], default: object
+    ) -> object:
         if expr is None:
             return default
         if isinstance(expr, ast.Constant) and isinstance(
             expr.value, (int, str)
         ):
             return expr.value
-        if isinstance(expr, ast.Name) and expr.id in self.constants:
-            value = self.constants[expr.id]
-            if isinstance(value, (int, str)):
-                return value
+        if isinstance(expr, ast.Name):
+            env = self.constants_by_function.get(fn_name, self.constants)
+            if expr.id in env:
+                value = env[expr.id]
+                if isinstance(value, (int, str)):
+                    return value
         return DYNAMIC
 
     def _p2p_sites(self) -> list[P2PSite]:
@@ -346,18 +432,22 @@ class UnitCallGraph:
 
                 if func.attr in ("send", "isend"):
                     # send(payload, dest, tag=0)
-                    tag = self._tag_of(kws.get("tag") or pos(2), 0)
+                    tag = self._tag_of(name, kws.get("tag") or pos(2), 0)
                     sites.append(P2PSite("send", tag, name, node))
                 elif func.attr in ("recv", "irecv"):
                     # recv(source=ANY_SOURCE, tag=ANY_TAG)
-                    tag = self._tag_of(kws.get("tag") or pos(1), WILDCARD)
+                    tag = self._tag_of(
+                        name, kws.get("tag") or pos(1), WILDCARD
+                    )
                     sites.append(P2PSite("recv", tag, name, node))
                 elif func.attr == "sendrecv":
                     # sendrecv(payload, dest, recv_source,
                     #          send_tag=0, recv_tag=None)
-                    stag = self._tag_of(kws.get("send_tag") or pos(3), 0)
+                    stag = self._tag_of(
+                        name, kws.get("send_tag") or pos(3), 0
+                    )
                     rtag = self._tag_of(
-                        kws.get("recv_tag") or pos(4), WILDCARD
+                        name, kws.get("recv_tag") or pos(4), WILDCARD
                     )
                     sites.append(P2PSite("send", stag, name, node))
                     sites.append(P2PSite("recv", rtag, name, node))
@@ -399,6 +489,19 @@ class UnitCallGraph:
                 reported.add(key)
                 out.append(UnmatchedP2P("recv", site.tag, site))
         return out
+
+
+def _is_stable_predicate(test: ast.expr) -> bool:
+    """Side-effect free and value-determined-by-names-read: safe to use as
+    a correlation key.  Calls and subscripts are excluded (a call may
+    return different values on repeated evaluation)."""
+    for sub in ast.walk(test):
+        if isinstance(sub, (ast.expr_context, ast.operator, ast.boolop,
+                            ast.cmpop, ast.unaryop)):
+            continue
+        if not isinstance(sub, _STABLE_PREDICATE_NODES):
+            return False
+    return True
 
 
 def _attr_chain(node: ast.expr) -> list[str]:

@@ -25,7 +25,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
+
+#: Path-sensitivity hook: maps a branch predicate expression to a canonical
+#: key when the predicate is rank-uniform (same value on every rank), or
+#: None when the branch must stay an opaque :class:`Alt`.
+PredKey = Callable[[ast.expr], Optional[str]]
 
 
 # --------------------------------------------------------------------- #
@@ -114,6 +119,28 @@ class Star(Summary):
         return f"({self.inner.render()})*"
 
 
+@dataclass(frozen=True, eq=False)
+class Cond(Summary):
+    """Branch on a *rank-uniform* predicate, keyed by its canonical text.
+
+    Unlike :class:`Alt` (either option may execute, per rank), a ``Cond``
+    records that every rank takes the same arm — so two adjacent ``Cond``
+    nodes with the same key are correlated and merge *per path*::
+
+        [k ? A : B] · [k ? C : D]  ≡  [k ? A·C : B·D]
+
+    which is what proves ``if k: a(); if k: b()`` equivalent to
+    ``if k: a(); b()`` and kills the v2 RPR010 false-positive family.
+    """
+
+    key: str
+    then: Summary
+    orelse: Summary
+
+    def render(self) -> str:
+        return f"[{self.key} ? {self.then.render()} : {self.orelse.render()}]"
+
+
 def seq(parts: Iterable[Summary]) -> Summary:
     return normalize(Seq(tuple(parts)))
 
@@ -132,6 +159,25 @@ def normalize(s: Summary) -> Summary:
                 flat.extend(part.parts)
             else:
                 flat.append(part)
+        # Correlated-branch merge: adjacent Conds on the same uniform
+        # predicate fuse per path (see Cond's docstring).
+        merged: list[Summary] = []
+        for part in flat:
+            prev = merged[-1] if merged else None
+            if (isinstance(part, Cond) and isinstance(prev, Cond)
+                    and prev.key == part.key):
+                fused = normalize(Cond(
+                    part.key,
+                    Seq((prev.then, part.then)),
+                    Seq((prev.orelse, part.orelse)),
+                ))
+                if fused is EPS:
+                    merged.pop()
+                else:
+                    merged[-1] = fused
+            else:
+                merged.append(part)
+        flat = merged
         if not flat:
             return EPS
         if len(flat) == 1:
@@ -156,6 +202,12 @@ def normalize(s: Summary) -> Summary:
         if isinstance(inner, Star):
             return inner
         return Star(inner)
+    if isinstance(s, Cond):
+        then = normalize(s.then)
+        orelse = normalize(s.orelse)
+        if then.render() == orelse.render():
+            return then  # both arms agree: the branch is irrelevant
+        return Cond(s.key, then, orelse)
     return s
 
 
@@ -177,6 +229,9 @@ def collectives_in(s: Summary) -> tuple[str, ...]:
                 walk(part)
         elif isinstance(node, Star):
             walk(node.inner)
+        elif isinstance(node, Cond):
+            walk(node.then)
+            walk(node.orelse)
 
     walk(normalize(s))
     return tuple(out)
@@ -194,6 +249,9 @@ def unresolved_calls(s: Summary) -> tuple[str, ...]:
                 walk(part)
         elif isinstance(node, Star):
             walk(node.inner)
+        elif isinstance(node, Cond):
+            walk(node.then)
+            walk(node.orelse)
 
     walk(s)
     return tuple(out)
@@ -207,6 +265,8 @@ def has_unknown(s: Summary) -> bool:
         return any(has_unknown(p) for p in parts)
     if isinstance(s, Star):
         return has_unknown(s.inner)
+    if isinstance(s, Cond):
+        return has_unknown(s.then) or has_unknown(s.orelse)
     return False
 
 
@@ -235,6 +295,12 @@ def resolve(
         return normalize(Alt(tuple(resolve(o, env, _stack) for o in s.options)))
     if isinstance(s, Star):
         return normalize(Star(resolve(s.inner, env, _stack)))
+    if isinstance(s, Cond):
+        return normalize(Cond(
+            s.key,
+            resolve(s.then, env, _stack),
+            resolve(s.orelse, env, _stack),
+        ))
     return s
 
 
@@ -428,9 +494,16 @@ def block_summary(
     collective_names: frozenset[str],
     comm_names: frozenset[str],
     unit_names: frozenset[str],
+    pred_key: Optional[PredKey] = None,
 ) -> Summary:
     """The collective-sequence summary of a statement list, joined at
-    branch/loop merge points (If → :class:`Alt`, loops → :class:`Star`)."""
+    branch/loop merge points (If → :class:`Alt`, loops → :class:`Star`).
+
+    ``pred_key`` is the path-sensitivity hook: when it maps a branch
+    predicate to a canonical key (meaning the predicate is rank-uniform
+    and side-effect free), the If becomes a keyed :class:`Cond` instead of
+    an :class:`Alt`, enabling correlated-branch merging.
+    """
 
     def expr(node: ast.AST) -> list[Summary]:
         return expression_summary(
@@ -442,7 +515,15 @@ def block_summary(
         for s in stmts:
             if isinstance(s, ast.If):
                 parts.extend(expr(s.test))
-                parts.append(Alt((of_block(s.body), of_block(s.orelse))))
+                key = pred_key(s.test) if pred_key is not None else None
+                if key is not None:
+                    parts.append(
+                        Cond(key, of_block(s.body), of_block(s.orelse))
+                    )
+                else:
+                    parts.append(
+                        Alt((of_block(s.body), of_block(s.orelse)))
+                    )
             elif isinstance(s, ast.While):
                 parts.extend(expr(s.test))
                 parts.append(Star(seq([of_block(s.body)] + expr(s.test))))
@@ -470,8 +551,9 @@ def function_summary(
     collective_names: frozenset[str],
     comm_names: frozenset[str],
     unit_names: frozenset[str],
+    pred_key: Optional[PredKey] = None,
 ) -> Summary:
     """The function's collective-sequence summary."""
     return block_summary(
-        tree.body, collective_names, comm_names, unit_names
+        tree.body, collective_names, comm_names, unit_names, pred_key
     )

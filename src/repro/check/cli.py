@@ -20,6 +20,18 @@ examples)::
     repro-check --fix examples/quickstart.py
     repro-check --fix --write path/to/app.py
     repro-check --fix --dry-run examples/*.py
+
+``--fix --write`` also re-lints the rewritten file and prunes any
+suppression comment the fixes made stale, so a repaired file never keeps
+an ``# repro: ignore[...]`` that silences nothing.
+
+``--format sarif`` emits SARIF 2.1.0 for code-scanning upload, and
+``--cache-dir DIR`` enables the incremental cache: path targets whose
+content (including their sibling import closure) is unchanged are served
+from the cache instead of re-analyzed::
+
+    repro-check --format sarif --apps > repro-check.sarif
+    repro-check --cache-dir .repro-check-cache examples/*.py
 """
 
 from __future__ import annotations
@@ -29,11 +41,19 @@ import importlib
 import json
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
+from repro.check.cache import METRICS, CheckCache
 from repro.check.diagnostics import SCHEMA, CheckResult
 from repro.check.driver import check_app, check_module, check_path
-from repro.check.fixes import apply_fixes, propose_fixes, render_diff
+from repro.check.fixes import (
+    apply_fixes,
+    propose_fixes,
+    prune_stale_suppressions,
+    render_diff,
+)
+from repro.check.sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,9 +77,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "incremental cache directory: unchanged path targets (by "
+            "content hash over the file and its sibling import closure) "
+            "reuse their cached result"
+        ),
     )
     parser.add_argument(
         "--fail-on",
@@ -90,13 +119,24 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _check_target(target: str) -> CheckResult:
+def _check_target(
+    target: str, cache: Optional[CheckCache] = None
+) -> tuple[CheckResult, bool]:
+    """Check one target; returns ``(result, served_from_cache)``."""
     if os.path.exists(target):
-        return check_path(target)
+        if cache is not None:
+            key = CheckCache.key_for(target)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached, True
+            result = check_path(target)
+            cache.put(key, result)
+            return result, False
+        return check_path(target), False
     try:
-        return check_app(target)
+        return check_app(target), False
     except Exception:
-        return check_module(target)
+        return check_module(target), False
 
 
 def _target_path(target: str) -> Optional[str]:
@@ -150,16 +190,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not targets:
         parser.error("no targets (give paths/app names, or --apps)")
 
+    cache = CheckCache(opts.cache_dir) if opts.cache_dir else None
     results: list[CheckResult] = []
     broken: list[tuple[str, str]] = []
+    cache_hits = 0
+    analyzed = 0
     for target in targets:
+        started = time.perf_counter()
         try:
-            results.append(_check_target(target))
+            result, hit = _check_target(target, cache)
         except Exception as exc:  # unreadable/unimportable target
             broken.append((target, f"{type(exc).__name__}: {exc}"))
+            continue
+        finally:
+            METRICS.observe("check.seconds", time.perf_counter() - started)
+        results.append(result)
+        if hit:
+            cache_hits += 1
+        else:
+            analyzed += 1
 
     fix_records: list[dict] = []
     diffs: list[str] = []
+    pruned_suppressions = 0
     if opts.fix:
         for target in targets:
             path = _target_path(target)
@@ -174,6 +227,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if not proposals:
                 continue
             fixed = apply_fixes(source, proposals)
+            # Fixes can strand suppression comments: re-lint the fixed
+            # text and drop anything that no longer silences a finding.
+            try:
+                fixed, pruned = prune_stale_suppressions(fixed, file=path)
+            except SyntaxError:
+                pruned = 0
+            pruned_suppressions += pruned
             fix_records.extend(p.to_dict() for p in proposals)
             diffs.append(render_diff(source, fixed, path))
             if opts.write and not opts.dry_run:
@@ -181,7 +241,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     fh.write(fixed)
 
     status = 0
-    if opts.format == "json":
+    if opts.format == "sarif":
+        print(render_sarif(results))
+        for target, error in broken:
+            print(f"{target}: check failed to run: {error}",
+                  file=sys.stderr)
+    elif opts.format == "json":
         payload = {
             "schema": SCHEMA,
             "results": [r.to_dict() for r in results],
@@ -215,7 +280,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if opts.fix:
             applied = " (applied)" if opts.write and not opts.dry_run else ""
             summary += f"; {len(fix_records)} fix(es) proposed{applied}"
+            if pruned_suppressions:
+                summary += (
+                    f"; {pruned_suppressions} stale suppression(s) pruned"
+                )
         print(summary)
+        if cache is not None:
+            print(f"cache: {cache_hits} hit(s), {analyzed} analyzed")
     return status
 
 

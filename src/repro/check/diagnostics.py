@@ -16,8 +16,10 @@ from typing import Iterable, Optional
 
 #: Version tag for every machine-readable payload this package emits.
 #: ``repro.check/2`` added suppression records, fix proposals, and the
-#: interprocedural/alias code families (RPR012/013/033/034/090).
-SCHEMA = "repro.check/2"
+#: interprocedural/alias code families (RPR012/013/033/034/090);
+#: ``repro.check/3`` adds the path-sensitive divergence code (RPR014) and
+#: the cross-module family (RPR050/051).
+SCHEMA = "repro.check/3"
 
 
 class Severity(enum.Enum):
@@ -59,6 +61,16 @@ class Span:
             col=getattr(node, "col_offset", 0) or 0,
             end_line=getattr(node, "end_lineno", None),
             end_col=getattr(node, "end_col_offset", None),
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            file=data.get("file", "<unknown>"),
+            line=data.get("line", 0),
+            col=data.get("col", 0),
+            end_line=data.get("end_line"),
+            end_col=data.get("end_col"),
         )
 
     def render(self) -> str:
@@ -112,6 +124,8 @@ CODES: dict[str, CodeInfo] = _codes([
              "rank-divergent loop executes collectives"),
     CodeInfo("RPR013", Severity.WARNING, "collective-sequencing",
              "unmatched point-to-point protocol"),
+    CodeInfo("RPR014", Severity.ERROR, "collective-sequencing",
+             "rank-divergent predicate guards collectives"),
     CodeInfo("RPR020", Severity.ERROR, "unlogged-nondeterminism",
              "unlogged nondeterministic call"),
     CodeInfo("RPR021", Severity.WARNING, "unlogged-nondeterminism",
@@ -130,6 +144,10 @@ CODES: dict[str, CodeInfo] = _codes([
              "communication loop without reachable checkpoint"),
     CodeInfo("RPR041", Severity.ADVICE, "checkpoint-placement",
              "communicating function in unit with no checkpoint site"),
+    CodeInfo("RPR050", Severity.WARNING, "cross-module",
+             "unresolvable cross-module helper"),
+    CodeInfo("RPR051", Severity.WARNING, "cross-module",
+             "star import hides cross-module helpers"),
     CodeInfo("RPR090", Severity.WARNING, "suppressions",
              "unused suppression"),
 ])
@@ -176,6 +194,16 @@ class Diagnostic:
         out["severity"] = self.severity.value
         out["analysis"] = self.analysis
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            code=data["code"],
+            message=data.get("message", ""),
+            span=Span.from_dict(data.get("span", {})),
+            function=data.get("function", ""),
+            hint=data.get("hint", ""),
+        )
 
 
 def render_text(diagnostics: Iterable[Diagnostic]) -> str:
@@ -258,3 +286,18 @@ class CheckResult:
                 for d in sorted(self.suppressed, key=Diagnostic.sort_key)
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckResult":
+        """Rehydrate a result from its :meth:`to_dict` payload (the
+        incremental cache stores results in exactly this shape)."""
+        return cls(
+            target=data.get("target", "<unknown>"),
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+            ),
+            functions=tuple(data.get("functions", ())),
+            suppressed=tuple(
+                Diagnostic.from_dict(d) for d in data.get("suppressed", ())
+            ),
+        )

@@ -14,6 +14,14 @@ unit, plus everything those functions call by plain name, transitively —
 the same closure the precompiler would compile.  Helpers like ``build()``
 factories and ``@repro.app`` registration shims stay out.
 
+v3 adds the **import-graph slicer**: when the checked file imports from a
+*sibling* module (a ``.py`` file in the same directory, the common
+``app.py`` + ``halo.py`` project layout), the imported helpers — and
+their transitive in-module callees — join the unit with their own
+source/suppression/constant scoping, so a multi-file app verifies exactly
+like its single-file merge.  What the slicer cannot resolve surfaces as
+the ``RPR05x`` family instead of silently dropping out of the analysis.
+
 :func:`preflight` is the embedded entry point ``Session.run(check=...)``
 and chaos campaigns use: check a batch of app names and raise
 :class:`~repro.errors.CheckError` on error findings.
@@ -24,7 +32,9 @@ from __future__ import annotations
 import ast
 import importlib
 import inspect
+import os
 import textwrap
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 from repro.check.analyses import ANALYSES, CheckedUnit
@@ -35,6 +45,7 @@ from repro.precompiler.analysis import (
     COMM_PARAM_NAMES,
     UnitAnalysis,
     Violation,
+    module_registered_globals,
     validate_supported,
 )
 
@@ -45,6 +56,8 @@ def run_unit_checks(
     target: str,
     extra_violations: Iterable[Violation] = (),
     sources: Optional[dict[str, str]] = None,
+    extra_diagnostics: Iterable[Diagnostic] = (),
+    extra_constants: Optional[dict[str, dict[str, object]]] = None,
 ) -> CheckResult:
     """Run the whole battery over already-parsed function ASTs.
 
@@ -53,8 +66,12 @@ def run_unit_checks(
     the precompiler feed violations it found itself (so strict compiles
     and the CLI render identical diagnostics).  ``sources`` maps file
     path → full module source text — it feeds module-constant resolution
-    (p2p tag names) and ``# repro: ignore[...]`` suppressions; when not
-    given, the driver reads the files from disk.
+    (p2p tag names), ``checkpointable_state`` registration scanning, and
+    ``# repro: ignore[...]`` suppressions; when not given, the driver
+    reads the files from disk.  ``extra_diagnostics`` carries the
+    slicer's RPR050/051 findings; ``extra_constants`` maps file →
+    constants imported *into* that file from elsewhere (``from halo
+    import TAG_UP``), layered over the file's own constants.
     """
     if sources is None:
         sources = _read_sources(files.values())
@@ -69,14 +86,25 @@ def run_unit_checks(
             collect=violations,
         )
     constants: dict[str, object] = {}
-    for source in sources.values():
-        constants.update(_module_constants(source))
+    file_constants: dict[str, dict[str, object]] = {}
+    registered: dict[str, set[str]] = {}
+    for path, source in sources.items():
+        tree = _parse_module(source)
+        file_constants[path] = _tree_constants(tree)
+        registered[path] = module_registered_globals(tree)
+        constants.update(file_constants[path])
+    for path, extra in (extra_constants or {}).items():
+        file_constants.setdefault(path, {}).update(extra)
+        constants.update(extra)
     unit = CheckedUnit(
         functions=functions,
         files=files,
         analysis=analysis,
         violations=violations,
         constants=constants,
+        file_constants=file_constants,
+        registered_globals=registered,
+        import_diagnostics=list(extra_diagnostics),
     )
     diagnostics: list[Diagnostic] = []
     for run in ANALYSES:
@@ -109,12 +137,15 @@ def _read_sources(paths: Iterable[str]) -> dict[str, str]:
     return out
 
 
-def _module_constants(source: str) -> dict[str, object]:
-    """Top-level ``NAME = <int/str literal>`` bindings (p2p tag names)."""
+def _parse_module(source: str) -> ast.Module:
     try:
-        tree = ast.parse(source)
+        return ast.parse(source)
     except SyntaxError:
-        return {}
+        return ast.Module(body=[], type_ignores=[])
+
+
+def _tree_constants(tree: ast.Module) -> dict[str, object]:
+    """Top-level ``NAME = <int/str literal>`` bindings (p2p tag names)."""
     out: dict[str, object] = {}
     for node in tree.body:
         if (
@@ -126,6 +157,10 @@ def _module_constants(source: str) -> dict[str, object]:
         ):
             out[node.targets[0].id] = node.value.value
     return out
+
+
+def _module_constants(source: str) -> dict[str, object]:
+    return _tree_constants(_parse_module(source))
 
 
 def _apply_suppressions(
@@ -222,6 +257,34 @@ def check_functions(
     return run_unit_checks(trees, files, target)
 
 
+def _has_comm_param(tree: ast.FunctionDef) -> bool:
+    params = [
+        a.arg
+        for a in (list(tree.args.posonlyargs) + list(tree.args.args))
+    ]
+    return any(p in COMM_PARAM_NAMES for p in params)
+
+
+def _select_names(space: dict[str, ast.FunctionDef]) -> list[str]:
+    """Unit selection over a function space: ctx-parameter functions seed
+    the unit, plus their transitive plain-name callees."""
+    selected = {name for name, tree in space.items() if _has_comm_param(tree)}
+    changed = True
+    while changed:
+        changed = False
+        for name in list(selected):
+            for node in ast.walk(space[name]):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in space
+                    and node.func.id not in selected
+                ):
+                    selected.add(node.func.id)
+                    changed = True
+    return sorted(selected)
+
+
 def _select_unit(module_tree: ast.Module) -> dict[str, ast.FunctionDef]:
     """The checked unit of a module: ctx-parameter functions plus their
     transitive plain-name callees among the top-level functions."""
@@ -230,29 +293,339 @@ def _select_unit(module_tree: ast.Module) -> dict[str, ast.FunctionDef]:
         for n in module_tree.body
         if isinstance(n, ast.FunctionDef)
     }
+    return {name: top[name] for name in _select_names(top)}
 
-    def has_comm_param(tree: ast.FunctionDef) -> bool:
-        params = [
-            a.arg
-            for a in (list(tree.args.posonlyargs) + list(tree.args.args))
-        ]
-        return any(p in COMM_PARAM_NAMES for p in params)
 
-    selected = {name for name, tree in top.items() if has_comm_param(tree)}
-    changed = True
-    while changed:
-        changed = False
-        for name in list(selected):
-            for node in ast.walk(top[name]):
+# --------------------------------------------------------------------- #
+# import-graph slicer (cross-module units)
+# --------------------------------------------------------------------- #
+
+@dataclass
+class UnitSlice:
+    """What the slicer hands :func:`run_unit_checks`: the selected unit
+    (possibly spanning several files), per-function origin files, the
+    sources of every contributing file, constants imported into the
+    target's namespace, and the RPR050/051 findings."""
+
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    files: dict[str, str] = field(default_factory=dict)
+    sources: dict[str, str] = field(default_factory=dict)
+    imported_constants: dict[str, object] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+def _sibling_file(directory: str, module: Optional[str]) -> Optional[str]:
+    """Resolve a module name to ``<directory>/<last-component>.py`` when
+    that file exists — the pragmatic project-layout heuristic: sibling
+    modules live next to the file importing them.  Dotted names resolve by
+    their final component (``repro.apps.stencil3d_halo`` → sibling
+    ``stencil3d_halo.py`` when checking a file in ``repro/apps``)."""
+    if not directory or not module:
+        return None
+    last = module.rsplit(".", 1)[-1]
+    path = os.path.join(directory, last + ".py")
+    return path if os.path.isfile(path) else None
+
+
+def _slice_directory(file: str) -> str:
+    """The directory sibling imports resolve against ('' for synthetic
+    sources like ``<string>`` or bare filenames — slicing is then
+    disabled; only real on-disk paths have siblings)."""
+    if not file or file.startswith("<"):
+        return ""
+    directory = os.path.dirname(file)
+    return directory if directory and os.path.isdir(directory) else ""
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    """Every name a module binds at top level (defs, classes, assigns,
+    imports) — used to distinguish "imported something that is not a
+    function" (fine) from "imported something that does not exist"."""
+    out: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            out.add(node.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    out.add(alias.asname or alias.name.split(".")[0])
+    return out
+
+
+def _xdiag(code: str, node: ast.AST, file: str, message: str, hint: str,
+           function: str = "<module>") -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        message=message,
+        span=Span.of(node, file),
+        function=function,
+        hint=hint,
+    )
+
+
+def slice_module(
+    module_tree: ast.Module, file: str, source: str
+) -> UnitSlice:
+    """Select the checked unit of a module, joining helpers imported from
+    sibling files (same directory) into the unit.
+
+    Join rules: ``from sibling import helper`` joins ``helper`` directly;
+    ``import sibling`` / ``import pkg.sibling as H`` joins helpers at
+    ``H.helper(...)`` call sites, rewriting the call to a plain name so
+    the interprocedural analyses see one call graph.  Joined helpers pull
+    their own in-module plain-name callees transitively.  Non-sibling
+    imports (stdlib, installed packages) are out of scope and stay opaque
+    library calls, exactly as before.  Unresolvable sibling references
+    (missing names, aliased helper imports, name collisions, star
+    imports) surface as RPR050/051.
+    """
+    top: dict[str, ast.FunctionDef] = {
+        n.name: n for n in module_tree.body
+        if isinstance(n, ast.FunctionDef)
+    }
+    out = UnitSlice(sources={file: source})
+    diags = out.diagnostics
+    directory = _slice_directory(file)
+    abs_file = os.path.abspath(file) if directory else file
+
+    #: Names called by plain name anywhere in the target's functions —
+    #: unresolvable imports only warn when something actually calls them.
+    called: set[str] = set()
+    for tree in top.values():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                called.add(node.func.id)
+
+    combined: dict[str, ast.FunctionDef] = dict(top)
+    origin: dict[str, str] = {name: file for name in top}
+
+    # path -> (tree, defs, source) for parsed siblings; None on failure.
+    cache: dict[str, Optional[tuple]] = {}
+    parse_warned: set[str] = set()
+
+    def load(path: str, node: ast.AST) -> Optional[tuple]:
+        if path not in cache:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    sib_source = fh.read()
+                sib_tree = ast.parse(sib_source, filename=path)
+            except (OSError, SyntaxError):
+                cache[path] = None
+            else:
+                sib_defs = {
+                    n.name: n for n in sib_tree.body
+                    if isinstance(n, ast.FunctionDef)
+                }
+                cache[path] = (sib_tree, sib_defs, sib_source)
+        if cache[path] is None and path not in parse_warned:
+            parse_warned.add(path)
+            diags.append(_xdiag(
+                "RPR050", node, file,
+                f"sibling module {os.path.basename(path)!r} failed to "
+                "load; its helpers stay opaque to the unit",
+                "fix the sibling module so its helpers can join the "
+                "checked unit",
+            ))
+        return cache[path]
+
+    def join(name: str, path: str) -> None:
+        """Join a sibling def and its transitive in-module callees."""
+        loaded = cache[path]
+        assert loaded is not None
+        sib_tree, sib_defs, sib_source = loaded
+        queue = [name]
+        while queue:
+            n = queue.pop()
+            if n in combined:
+                continue
+            combined[n] = sib_defs[n]
+            origin[n] = path
+            out.sources.setdefault(path, sib_source)
+            for sub in ast.walk(sib_defs[n]):
                 if (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Name)
-                    and node.func.id in top
-                    and node.func.id not in selected
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id in sib_defs
+                    and sub.func.id not in combined
                 ):
-                    selected.add(node.func.id)
-                    changed = True
-    return {name: top[name] for name in sorted(selected)}
+                    queue.append(sub.func.id)
+
+    module_aliases: dict[str, str] = {}
+    if directory:
+        for node in module_tree.body:
+            if isinstance(node, ast.ImportFrom):
+                if node.module is None:
+                    # ``from . import sibling`` binds module objects.
+                    for alias in node.names:
+                        path = _sibling_file(directory, alias.name)
+                        if path and os.path.abspath(path) != abs_file:
+                            module_aliases[alias.asname or alias.name] = path
+                    continue
+                path = _sibling_file(directory, node.module)
+                if path is None or os.path.abspath(path) == abs_file:
+                    continue
+                loaded = load(path, node)
+                if loaded is None:
+                    continue
+                sib_tree, sib_defs, sib_source = loaded
+                sib_consts = _tree_constants(sib_tree)
+                sib_names = _top_level_names(sib_tree)
+                for alias in node.names:
+                    if alias.name == "*":
+                        diags.append(_xdiag(
+                            "RPR051", node, file,
+                            f"'from {node.module} import *' hides which "
+                            "sibling helpers the unit uses; they stay "
+                            "opaque to the analyses",
+                            "import the helpers you call by name so they "
+                            "join the checked unit",
+                        ))
+                        continue
+                    bound = alias.asname or alias.name
+                    if alias.name in sib_defs:
+                        if alias.asname and alias.asname != alias.name:
+                            if bound in called:
+                                diags.append(_xdiag(
+                                    "RPR050", alias, file,
+                                    f"helper {alias.name!r} imported as "
+                                    f"{alias.asname!r} cannot join the "
+                                    "unit; its calls stay opaque",
+                                    "import the helper under its own name "
+                                    "so the slicer can join it",
+                                ))
+                        elif bound in top:
+                            if bound in called:
+                                diags.append(_xdiag(
+                                    "RPR050", alias, file,
+                                    f"imported helper {alias.name!r} "
+                                    "collides with a local definition of "
+                                    "the same name; calls bind "
+                                    "ambiguously",
+                                    "rename the local function or drop "
+                                    "the import",
+                                ))
+                        else:
+                            join(alias.name, path)
+                    elif alias.name in sib_consts:
+                        out.imported_constants[bound] = \
+                            sib_consts[alias.name]
+                    elif alias.name not in sib_names and bound in called:
+                        diags.append(_xdiag(
+                            "RPR050", alias, file,
+                            f"sibling module {node.module!r} defines no "
+                            f"{alias.name!r}; the call stays opaque",
+                            "define the helper in the sibling module or "
+                            "fix the import",
+                        ))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    path = _sibling_file(directory, alias.name)
+                    if path is None or os.path.abspath(path) == abs_file:
+                        continue
+                    if alias.asname:
+                        module_aliases[alias.asname] = path
+                    elif "." not in alias.name:
+                        module_aliases[alias.name] = path
+
+    # ``H.helper(...)`` call sites against module aliases: join the helper
+    # and rewrite the call to a plain name so the call graph sees it.
+    for fname, ftree in top.items():
+        for node in ast.walk(ftree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                continue
+            path = module_aliases[func.value.id]
+            loaded = load(path, node)
+            if loaded is None:
+                continue
+            sib_tree, sib_defs, sib_source = loaded
+            if func.attr in sib_defs:
+                if func.attr in combined and origin.get(func.attr) != path:
+                    diags.append(_xdiag(
+                        "RPR050", node, file,
+                        f"cannot join {func.value.id}.{func.attr}(): the "
+                        f"unit already defines {func.attr!r}; the call "
+                        "stays opaque",
+                        "rename one of the functions so the helper can "
+                        "join the unit",
+                        function=fname,
+                    ))
+                else:
+                    join(func.attr, path)
+                    node.func = ast.copy_location(
+                        ast.Name(id=func.attr, ctx=ast.Load()), func
+                    )
+            elif func.attr not in _top_level_names(sib_tree):
+                diags.append(_xdiag(
+                    "RPR050", node, file,
+                    f"sibling module bound to {func.value.id!r} defines "
+                    f"no {func.attr!r}; the call stays opaque",
+                    "define the helper in the sibling module or fix the "
+                    "call",
+                    function=fname,
+                ))
+
+    selected = _select_names(combined)
+    out.functions = {name: combined[name] for name in selected}
+    out.files = {name: origin[name] for name in selected}
+    # Only files that contribute functions keep their sources (a sibling's
+    # suppressions are irrelevant when none of its code joined the unit).
+    keep = {file} | set(out.files.values())
+    out.sources = {p: s for p, s in out.sources.items() if p in keep}
+    return out
+
+
+def import_closure(path: str) -> list[str]:
+    """The file plus every sibling file its top-level imports resolve to
+    (the slicer's one-level reach) — the incremental cache hashes exactly
+    this set, so editing a helper invalidates the apps importing it."""
+    out = [path]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            tree = ast.parse(fh.read(), filename=path)
+    except (OSError, SyntaxError):
+        return out
+    directory = _slice_directory(path)
+    if not directory:
+        return out
+    abs_path = os.path.abspath(path)
+    for node in tree.body:
+        candidates: list[Optional[str]] = []
+        if isinstance(node, ast.ImportFrom):
+            if node.module is not None:
+                candidates.append(_sibling_file(directory, node.module))
+            else:
+                candidates.extend(
+                    _sibling_file(directory, a.name) for a in node.names
+                )
+        elif isinstance(node, ast.Import):
+            candidates.extend(
+                _sibling_file(directory, a.name) for a in node.names
+            )
+        for cand in candidates:
+            if (
+                cand
+                and os.path.abspath(cand) != abs_path
+                and cand not in out
+            ):
+                out.append(cand)
+    return out
 
 
 def check_source(
@@ -260,10 +633,18 @@ def check_source(
 ) -> CheckResult:
     """Check source text (module coordinates are already absolute)."""
     module_tree = ast.parse(source, filename=file)
-    trees = _select_unit(module_tree)
-    files = {name: file for name in trees}
+    sliced = slice_module(module_tree, file, source)
+    extra_constants = (
+        {file: sliced.imported_constants}
+        if sliced.imported_constants else None
+    )
     return run_unit_checks(
-        trees, files, target or file, sources={file: source}
+        sliced.functions,
+        sliced.files,
+        target or file,
+        sources=sliced.sources,
+        extra_diagnostics=sliced.diagnostics,
+        extra_constants=extra_constants,
     )
 
 

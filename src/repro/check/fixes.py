@@ -13,6 +13,12 @@ Three diagnostic families have purely mechanical repairs:
 * ``RPR031`` — mutable default arguments.  The default becomes ``None``
   and an ``if <arg> is None: <arg> = <orig>`` guard is inserted at the
   top of the body (after the docstring).
+* ``RPR030``/``RPR033``/``RPR034`` — module-state escapes.  The offending
+  global is registered with the globals registry: a
+  ``checkpointable_state("NAME")`` declaration is inserted right after the
+  global's top-level assignment (plus the ``repro.statesave`` import,
+  once), which both manages the state at runtime and statically exempts
+  the name from the escape analyses.
 
 Every fix is a :class:`FixProposal` carrying absolute character offsets
 into the original source, so applying is a pure text splice:
@@ -26,10 +32,16 @@ from __future__ import annotations
 
 import ast
 import difflib
+import re
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.precompiler.analysis import comm_roots
+from repro.check.suppress import Suppression, find_suppressions, prune_stale
+from repro.precompiler.analysis import (
+    attr_root,
+    comm_roots,
+    module_registered_globals,
+)
 
 #: ``random.<method>`` calls that can move onto the per-rank generator.
 RNG_METHODS = frozenset({
@@ -116,6 +128,30 @@ class _FixPlanner:
         self.functions = [
             n for n in ast.walk(self.tree) if isinstance(n, ast.FunctionDef)
         ]
+        # Escape-fix bookkeeping: already-registered globals, the globals'
+        # defining top-level statements, and what this planning pass has
+        # already decided to insert (dedupe across findings).
+        self.registered = module_registered_globals(self.tree)
+        self.top_assigns: dict[str, ast.stmt] = {}
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        self.top_assigns[t.id] = node
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.value is not None
+            ):
+                self.top_assigns[node.target.id] = node
+        self.planned_registrations: set[str] = set()
+        self.import_planned = False
+        self.has_state_import = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "repro.statesave"
+            and any(a.name == "checkpointable_state" for a in node.names)
+            for node in self.tree.body
+        )
 
     def text_of(self, node: ast.AST) -> Optional[str]:
         span = _span_offsets(self.offsets, node)
@@ -277,6 +313,192 @@ class _FixPlanner:
             ),
         ]
 
+    # -- escape fixers (RPR030/033/034) -------------------------------- #
+
+    def _node_at(self, line: int, col: int, types) -> Optional[ast.AST]:
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, types)
+                and getattr(node, "lineno", None) == line
+                and getattr(node, "col_offset", None) == col
+            ):
+                return node
+        return None
+
+    def _import_anchor(self) -> tuple[int, int]:
+        """(offset, lineno) right after the last top-level import, the
+        module docstring failing that, or the top of the file."""
+        anchor: Optional[ast.stmt] = None
+        body = self.tree.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            anchor = body[0]
+        for node in body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                anchor = node
+        if anchor is None:
+            return 0, 1
+        end_line = anchor.end_lineno or anchor.lineno
+        return self.offsets[end_line], end_line + 1
+
+    def _register_global(
+        self, code: str, line: int, col: int, root: str
+    ) -> list[FixProposal]:
+        """Insert ``checkpointable_state("<root>")`` after the global's
+        top-level assignment (plus the import, once per file)."""
+        if root in self.registered or root in self.planned_registrations:
+            return []
+        stmt = self.top_assigns.get(root)
+        if stmt is None:
+            return []  # not defined here: nothing to anchor the fix on
+        self.planned_registrations.add(root)
+        out: list[FixProposal] = []
+        if not self.has_state_import and not self.import_planned:
+            self.import_planned = True
+            at, imp_line = self._import_anchor()
+            out.append(FixProposal(
+                code=code, file=self.file, line=imp_line, col=0,
+                title="import checkpointable_state",
+                start=at, end=at,
+                replacement=(
+                    "from repro.statesave import checkpointable_state\n"
+                ),
+            ))
+        end_line = stmt.end_lineno or stmt.lineno
+        at = (
+            self.offsets[end_line]
+            if end_line < len(self.offsets) else len(self.source)
+        )
+        replacement = f'checkpointable_state("{root}")\n'
+        if at > 0 and self.source[at - 1] != "\n":
+            replacement = "\n" + replacement
+        out.append(FixProposal(
+            code=code, file=self.file, line=line, col=col,
+            title=f'register {root} with checkpointable_state("{root}")',
+            start=at, end=at, replacement=replacement,
+        ))
+        return out
+
+    def fix_escape_store(self, line: int, col: int) -> list[FixProposal]:
+        """RPR030: the escaping global is named at the finding itself."""
+        node = self._node_at(
+            line, col, (ast.Attribute, ast.Subscript, ast.Call)
+        )
+        root: Optional[str] = None
+        if isinstance(node, ast.Call):
+            root = attr_root(node.func)
+        elif isinstance(node, ast.Attribute):
+            root = attr_root(node)
+        elif isinstance(node, ast.Subscript):
+            root = attr_root(node.value)
+        if root is None:
+            return []
+        return self._register_global("RPR030", line, col, root)
+
+    def _alias_sources(self, fn: ast.FunctionDef, alias: str) -> set[str]:
+        """Module-level names an in-function alias assignment binds to."""
+        roots: set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == alias
+                for t in node.targets
+            ):
+                continue
+            value = node.value
+            if isinstance(value, ast.Subscript):
+                value = value.value
+            root = attr_root(value) if not isinstance(value, ast.Call) \
+                else None
+            if root is not None and root in self.top_assigns:
+                roots.add(root)
+        return roots
+
+    def fix_escape_alias(self, line: int, col: int) -> list[FixProposal]:
+        """RPR033: resolve the mutated local alias back to the module
+        global it was bound from; helper-returned aliases stay manual."""
+        node = self._node_at(
+            line, col,
+            (ast.Call, ast.Attribute, ast.Subscript, ast.Assign,
+             ast.AugAssign),
+        )
+        alias: Optional[str] = None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                alias = attr_root(func)
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            alias = attr_root(
+                node.value if isinstance(node, ast.Subscript) else node
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            target = (
+                node.targets[0] if isinstance(node, ast.Assign)
+                else node.target
+            )
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                alias = attr_root(
+                    target.value if isinstance(target, ast.Subscript)
+                    else target
+                )
+        fn = self.enclosing_function(line)
+        if alias is None or fn is None:
+            return []
+        out: list[FixProposal] = []
+        for root in sorted(self._alias_sources(fn, alias)):
+            out.extend(self._register_global("RPR033", line, col, root))
+        return out
+
+    def fix_escape_arg(self, line: int, col: int) -> list[FixProposal]:
+        """RPR034: register the callee's module-state sink."""
+        node = self._node_at(line, col, ast.Call)
+        if not isinstance(node, ast.Call) \
+                or not isinstance(node.func, ast.Name):
+            return []
+        callee = next(
+            (f for f in self.functions if f.name == node.func.id), None
+        )
+        if callee is None:
+            return []
+        args = callee.args
+        local = {
+            a.arg for a in (
+                list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+            )
+        }
+        for sub in ast.walk(callee):
+            if isinstance(sub, ast.Name) \
+                    and isinstance(sub.ctx, (ast.Store, ast.Del)):
+                local.add(sub.id)
+        out: list[FixProposal] = []
+        for sub in ast.walk(callee):
+            if not isinstance(sub, (ast.Assign, ast.AugAssign,
+                                    ast.AnnAssign)):
+                continue
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign)
+                else [sub.target]
+            )
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = attr_root(
+                    target.value if isinstance(target, ast.Subscript)
+                    else target
+                )
+                if root is not None and root not in local \
+                        and root in self.top_assigns:
+                    out.extend(
+                        self._register_global("RPR034", line, col, root)
+                    )
+        return out
+
 
 def propose_fixes(source: str, file: str = "<string>") -> list[FixProposal]:
     """Every mechanical rewrite for the file's *active* findings.
@@ -290,6 +512,8 @@ def propose_fixes(source: str, file: str = "<string>") -> list[FixProposal]:
     planner = _FixPlanner(source, file)
     proposals: list[FixProposal] = []
     for d in result.diagnostics:
+        if d.span.file != file:
+            continue  # slicer-joined sibling findings: fix their own file
         if d.code == "RPR020":
             fix = planner.fix_entropy(d.span.line, d.span.col)
             if fix is not None:
@@ -302,7 +526,53 @@ def propose_fixes(source: str, file: str = "<string>") -> list[FixProposal]:
             proposals.extend(
                 planner.fix_mutable_default(d.span.line, d.span.col)
             )
+        elif d.code == "RPR030":
+            proposals.extend(
+                planner.fix_escape_store(d.span.line, d.span.col)
+            )
+        elif d.code == "RPR033":
+            proposals.extend(
+                planner.fix_escape_alias(d.span.line, d.span.col)
+            )
+        elif d.code == "RPR034":
+            proposals.extend(
+                planner.fix_escape_arg(d.span.line, d.span.col)
+            )
     return proposals
+
+
+#: RPR090 message shape (see ``repro.check.driver._apply_suppressions``).
+_STALE_RE = re.compile(r"suppression of (RPR\d{3}) matches no finding")
+
+
+def prune_stale_suppressions(
+    source: str, file: str = "<string>"
+) -> tuple[str, int]:
+    """Re-lint the (possibly just-fixed) source and drop suppressions
+    that no longer silence anything.
+
+    ``--fix --write`` runs this after applying rewrites: a fix that
+    repairs a suppressed-adjacent finding can leave its ``# repro:
+    ignore[...]`` comment stale, and a stale suppression would hide the
+    next real regression (that is exactly what RPR090 warns about).
+    Returns ``(new_source, pruned)``.
+    """
+    from repro.check.driver import check_source
+
+    result = check_source(source, file=file)
+    stale_locs: list[tuple[Suppression, str]] = []
+    by_loc = {
+        (s.line, s.col): s
+        for s in find_suppressions(source, file)
+    }
+    for d in result.diagnostics:
+        if d.code != "RPR090" or d.span.file != file:
+            continue
+        match = _STALE_RE.search(d.message)
+        s = by_loc.get((d.span.line, d.span.col))
+        if match and s is not None:
+            stale_locs.append((s, match.group(1)))
+    return prune_stale(source, stale_locs)
 
 
 def apply_fixes(source: str, proposals: list[FixProposal]) -> str:

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 export for check results.
+
+CI uploads the SARIF payload from ``repro-check --format sarif`` so code
+hosts can render findings as inline annotations.  The export is a minimal
+but valid static-analysis log: one run, one rule per registered ``RPR0xx``
+code, one result per (non-suppressed) diagnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.check.diagnostics import CODES, CheckResult, Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Severity -> SARIF ``level``.  Advice maps to ``note`` (informational).
+_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.ADVICE: "note",
+}
+
+
+def _rules() -> list[dict]:
+    return [
+        {
+            "id": info.code,
+            "shortDescription": {"text": info.title},
+            "properties": {"analysis": info.analysis},
+            "defaultConfiguration": {"level": _LEVEL[info.severity]},
+        }
+        for info in CODES.values()
+    ]
+
+
+def _result(diag: Diagnostic) -> dict:
+    region: dict = {
+        # SARIF lines/columns are 1-based; spans store 0-based columns.
+        "startLine": max(diag.span.line, 1),
+        "startColumn": diag.span.col + 1,
+    }
+    if diag.span.end_line is not None:
+        region["endLine"] = max(diag.span.end_line, 1)
+    if diag.span.end_col is not None:
+        region["endColumn"] = diag.span.end_col + 1
+    message = diag.message
+    if diag.hint:
+        message += f" (hint: {diag.hint})"
+    return {
+        "ruleId": diag.code,
+        "level": _LEVEL[diag.severity],
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.span.file},
+                    "region": region,
+                }
+            }
+        ],
+    }
+
+
+def sarif_payload(results: Iterable[CheckResult]) -> dict:
+    """One SARIF run covering every diagnostic in ``results``."""
+    diagnostics: list[Diagnostic] = []
+    for result in results:
+        diagnostics.extend(result.diagnostics)
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri":
+                            "https://github.com/repro/repro#repro-check",
+                        "rules": _rules(),
+                    }
+                },
+                "results": [_result(d) for d in diagnostics],
+            }
+        ],
+    }
+
+
+def render_sarif(results: Iterable[CheckResult], indent: int = 2) -> str:
+    return json.dumps(sarif_payload(results), indent=indent)

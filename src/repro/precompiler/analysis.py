@@ -109,6 +109,41 @@ def is_checkpoint_site(
     return False
 
 
+#: Call names that declare module globals as managed checkpointable state
+#: (see :func:`repro.statesave.checkpointable_state`).
+REGISTRATION_NAMES = frozenset({"checkpointable_state"})
+
+
+def module_registered_globals(tree: ast.Module) -> set[str]:
+    """Module-global names registered via ``checkpointable_state("NAME")``.
+
+    Scans top-level expression statements for calls whose callee is named
+    ``checkpointable_state`` (bare or at the end of an attribute chain)
+    and collects their string-constant arguments.  The static checker
+    treats registered names as managed state: mutating them is no longer a
+    virtual-data-segment escape (RPR030/033/034), because the globals
+    registry snapshots and restores them with every checkpoint.
+    """
+    out: set[str] = set()
+    for node in tree.body:
+        if not (isinstance(node, ast.Expr) and isinstance(node.value,
+                                                          ast.Call)):
+            continue
+        func = node.value.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            continue
+        if name not in REGISTRATION_NAMES:
+            continue
+        for arg in node.value.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                out.add(arg.value)
+    return out
+
+
 def called_unit_functions(node: ast.AST, unit_names: set[str]) -> set[str]:
     """Names of unit functions invoked by plain name anywhere under node."""
     return set(unit_call_sites(node, unit_names))

@@ -233,6 +233,10 @@ def _parse_function(fn: Callable) -> tuple[ast.FunctionDef, str]:
     """Parse ``fn``'s source; returns the tree (line numbers shifted to
     absolute file coordinates, so diagnostics and violation spans point
     into the real file) and the source path."""
+    # Follow ``__wrapped__`` chains first: a ``functools.wraps`` wrapper
+    # (or a stack of them) reports the original's source but the
+    # *wrapper's* co_firstlineno, and mixing the two drifts every span.
+    fn = inspect.unwrap(fn)
     try:
         source = textwrap.dedent(inspect.getsource(fn))
         src_file = inspect.getsourcefile(fn) or "<unknown>"

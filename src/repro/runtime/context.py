@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ConfigError
 from repro.simmpi.simulator import RankContext
+from repro.statesave.globals_registry import DEFAULT_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api.comms import CommLike
@@ -49,6 +50,17 @@ class C3AppContext:
         #: Opaque run parameters (set by PrecompiledApp or harness code).
         self.params: Any = None
         layer.state_provider = self._capture_state
+        # Registered module globals (repro.statesave.checkpointable_state)
+        # ride along in every checkpoint blob.  Module globals are shared
+        # process-wide in the simulator, so rank 0's snapshot is the
+        # canonical copy written back on restart.
+        if (
+            restored
+            and rank_ctx.rank == 0
+            and isinstance(restored_app_state, dict)
+            and restored_app_state.get("globals")
+        ):
+            DEFAULT_REGISTRY.restore(restored_app_state["globals"])
 
     # ------------------------------------------------------------------ #
 
@@ -108,7 +120,11 @@ class C3AppContext:
         return self._registered_state
 
     def _capture_state(self) -> Any:
-        return {"user": self._registered_state, "rng": self._rank_ctx.rng}
+        state = {"user": self._registered_state, "rng": self._rank_ctx.rng}
+        registered = DEFAULT_REGISTRY.snapshot()
+        if registered:
+            state["globals"] = registered
+        return state
 
     # ------------------------------------------------------------------ #
 

@@ -6,14 +6,20 @@ generations, retention and crash-consistent commit all live there.
 """
 
 from repro.statesave.format import CheckpointData
-from repro.statesave.globals_registry import GlobalsRegistry
+from repro.statesave.globals_registry import (
+    DEFAULT_REGISTRY,
+    GlobalsRegistry,
+    checkpointable_state,
+)
 from repro.statesave.heap import ManagedHeap
 from repro.statesave.storage import CommitRecord, Storage
 
 __all__ = [
     "CheckpointData",
     "CommitRecord",
+    "DEFAULT_REGISTRY",
     "GlobalsRegistry",
     "ManagedHeap",
     "Storage",
+    "checkpointable_state",
 ]

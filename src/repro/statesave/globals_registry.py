@@ -68,3 +68,34 @@ class GlobalsRegistry:
             key = (mod, attr)
             if key not in self._entries:
                 self._entries.append(key)
+
+
+#: Process-wide default registry: :func:`checkpointable_state` feeds it,
+#: Storage-based drivers snapshot/restore through it.
+DEFAULT_REGISTRY = GlobalsRegistry()
+
+
+def checkpointable_state(
+    *names: str,
+    module: str | None = None,
+    registry: GlobalsRegistry | None = None,
+) -> None:
+    """Declare module-level variables as checkpointable state.
+
+    Called at module top level next to the globals it registers::
+
+        CACHE: dict = {}
+        checkpointable_state("CACHE")
+
+    The declaration registers ``<calling module>.CACHE`` with the
+    :data:`DEFAULT_REGISTRY` (pass ``module=``/``registry=`` to override)
+    and — equally important — is recognised *statically* by
+    ``repro-check``: registered names are exempt from the RPR030/033/034
+    escape findings, and the ``--fix`` escape rewrites emit exactly this
+    form.
+    """
+    if module is None:
+        frame = sys._getframe(1)
+        module = frame.f_globals.get("__name__", "__main__")
+    reg = registry if registry is not None else DEFAULT_REGISTRY
+    reg.register_many(module, list(names))

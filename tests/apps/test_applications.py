@@ -4,7 +4,7 @@ multiple process counts, and recovery equivalence under injected failures."""
 import numpy as np
 import pytest
 
-from repro.apps import dense_cg, laplace, neurosys
+from repro.apps import dense_cg, laplace, neurosys, stencil3d
 from repro.runtime import RunConfig, run_with_recovery
 from repro.simmpi import FailureSchedule
 
@@ -121,6 +121,50 @@ class TestNeurosys:
             failures=FailureSchedule.single(gold.total_virtual_time * 0.5, 3),
         )
         assert rec.results == gold.results
+
+
+class TestStencil3D:
+    """The two-module gallery app (entry in stencil3d.py, halo exchange
+    imported from stencil3d_halo.py)."""
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_matches_serial_reference(self, nprocs):
+        params = stencil3d.Stencil3DParams(n=12, iterations=8)
+        out = run_with_recovery(stencil3d.build(params), cfg(nprocs))
+        ref = stencil3d.stencil3d_reference(12, 8)
+        parallel_sum = sum(r["checksum"] for r in out.results)
+        assert parallel_sum == pytest.approx(float(ref.sum()), abs=1e-8)
+
+    def test_uneven_plane_distribution_covers_volume(self):
+        params = stencil3d.Stencil3DParams(n=13, iterations=4)  # 13 planes / 4
+        out = run_with_recovery(stencil3d.build(params), cfg(4))
+        planes = sorted(r["planes"] for r in out.results)
+        assert planes[0][0] == 0 and planes[-1][1] == 13
+        for (_, hi), (lo, _) in zip(planes, planes[1:]):
+            assert hi == lo
+
+    def test_boundary_faces_fixed(self):
+        ref = stencil3d.stencil3d_reference(10, 20)
+        initial = stencil3d.make_initial_field(10)
+        assert np.array_equal(ref[0], initial[0])
+        assert np.array_equal(ref[-1], initial[-1])
+        assert np.array_equal(ref[:, 0, :], initial[:, 0, :])
+        assert np.array_equal(ref[:, :, -1], initial[:, :, -1])
+
+    def test_unit_spans_both_modules(self):
+        unit = stencil3d.unit()
+        assert {"stencil3d_main", "halo_exchange_z"} <= set(unit.functions)
+        assert not unit.diagnostics
+
+    def test_recovery_bitwise_identical(self):
+        params = stencil3d.Stencil3DParams(n=12, iterations=16)
+        gold = run_with_recovery(stencil3d.build(params), cfg())
+        rec = run_with_recovery(
+            stencil3d.build(params), cfg(),
+            failures=FailureSchedule.single(gold.total_virtual_time * 0.5, 1),
+        )
+        assert rec.results == gold.results
+        assert len(rec.attempts) == 2
 
 
 class TestStateSizeAccounting:

@@ -1,4 +1,8 @@
-"""Seeded violations: collective sequence differs between branch arms."""
+"""Seeded violations: collective sequence differs between branch arms.
+
+Both guards read a received value: rank divergence is *possible* (the
+predicate is tainted) but not provable, so the findings stay ``RPR010``
+rather than upgrading to ``RPR014``."""
 
 
 def helper_bcast(ctx, x):
@@ -7,11 +11,12 @@ def helper_bcast(ctx, x):
 
 def main(ctx):
     x = 1.0
+    flag = ctx.recv(src=0)
     ctx.potential_checkpoint()
-    if ctx.rank == 0:  # CHECK: RPR010
+    if flag > 0:  # CHECK: RPR010
         x = ctx.allreduce(x, op="sum")
     for i in range(4):
         ctx.potential_checkpoint()
-        if i % 2:  # CHECK: RPR010
+        if flag > i:  # CHECK: RPR010
             x = helper_bcast(ctx, x)
     return x

@@ -1,0 +1,37 @@
+"""Regression (clean): repeated branches on the same uniform predicate
+correlate.
+
+``staged`` branches twice on ``use_fast``; under v2 its summary was
+``(allreduce | eps) . (bcast | eps)`` and comparing it against ``fused``
+(both collectives under one branch) fired RPR010 in ``main``.  v3 keys
+both branches on the same uniform predicate and merges the summaries per
+path — ``[use_fast ? allreduce.bcast : eps]`` on both sides — so the
+program verifies clean."""
+
+
+def staged(ctx, x, use_fast):
+    if use_fast:
+        x = ctx.allreduce(x, op="sum")
+    x = x + 1
+    if use_fast:
+        x = ctx.bcast(x)
+    return x
+
+
+def fused(ctx, x, use_fast):
+    if use_fast:
+        x = ctx.allreduce(x, op="sum")
+        x = ctx.bcast(x + 1)
+    return x
+
+
+def main(ctx):
+    x = 1.0
+    use_fast = True
+    ctx.potential_checkpoint()
+    flag = ctx.recv(src=0)
+    if flag > 0:
+        x = staged(ctx, x, use_fast)
+    else:
+        x = fused(ctx, x, use_fast)
+    return x

@@ -1,0 +1,15 @@
+"""Seeded violations: provably rank-divergent control over collectives.
+
+Both predicates read ``ctx.rank`` directly, so divergence is provable and
+the findings upgrade from RPR010/RPR012 to ``RPR014``."""
+
+
+def main(ctx):
+    x = 1.0
+    ctx.potential_checkpoint()
+    if ctx.rank == 0:  # CHECK: RPR014
+        x = ctx.allreduce(x, op="sum")
+    for i in range(ctx.rank):  # CHECK: RPR014
+        ctx.potential_checkpoint()
+        x = ctx.bcast(x)
+    return x

@@ -1,11 +1,15 @@
-"""Seeded violation: conditional early exit skipping later collectives."""
+"""Seeded violation: conditional early exit skipping later collectives.
+
+The break guard reads a received value — a rank-uniform guard would not
+fire (every rank exits together), so the fixture taints it."""
 
 
 def main(ctx):
     total = 0.0
     for i in range(10):
         ctx.potential_checkpoint()
-        if total > 100:  # CHECK: RPR011
+        stop = ctx.recv(src=0)
+        if stop > 100:  # CHECK: RPR011
             break
         total = ctx.allreduce(total, op="sum")
     return total

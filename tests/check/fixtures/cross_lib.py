@@ -1,0 +1,7 @@
+"""Sibling helper library for the cross-module fixtures (clean alone)."""
+
+SCALE = 2.0
+
+
+def scale(x):
+    return SCALE * x

@@ -1,0 +1,12 @@
+"""Seeded violations: sibling imports the slicer cannot resolve — a name
+the sibling does not define, and a helper renamed on import (the alias
+hides which sibling function the calls bind to)."""
+
+from cross_lib import missing_helper, scale as rescale  # CHECK: RPR050 # CHECK: RPR050
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    x = ctx.allreduce(1.0, op="sum")
+    x = missing_helper(x)
+    return rescale(x)

@@ -1,0 +1,10 @@
+"""Seeded violation: a star import hides which sibling helpers the unit
+calls, so none of them can join the checked unit."""
+
+from cross_lib import *  # CHECK: RPR051
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    x = ctx.allreduce(1.0, op="sum")
+    return scale(x)

@@ -1,0 +1,17 @@
+"""Two-module app: the imported sibling helper joins the checked unit.
+
+No findings in this file itself — the seeded violation lives in the
+sibling (see the ALSO-CHECKS directive), proving the slicer carries
+sibling spans/sources through unchanged."""
+# ALSO-CHECKS: cross_unit_halo.py
+
+from cross_unit_halo import exchange
+
+
+def main(ctx):
+    field = [1.0, 2.0]
+    for _ in range(4):
+        ctx.potential_checkpoint()
+        field[0] = exchange(ctx, field)
+        field[0] = ctx.allreduce(field[0], op="sum")
+    return field[0]

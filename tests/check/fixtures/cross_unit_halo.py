@@ -1,0 +1,16 @@
+"""Sibling module the slicer joins into ``cross_unit_app``'s unit.
+
+Checked standalone *and* as part of the two-module app; the seeded
+entropy draw fires identically in both (same code, same line, same
+file), which is exactly the "multi-file app verifies like its
+single-file merge" contract."""
+
+import random
+
+
+def exchange(ctx, field):
+    ctx.potential_checkpoint()
+    ctx.send(field[0], dest=0, tag=7)
+    left = ctx.recv(src=0, tag=7)
+    jitter = random.random()  # CHECK: RPR020
+    return field[0] + left + jitter

@@ -1,0 +1,28 @@
+"""Seeded violations the mechanical fixer repairs with registrations:
+module-state escapes (direct store, aliased mutation, escaping argument)
+each resolve to a ``checkpointable_state("...")`` declaration next to the
+global.  ``tests/check/test_fixes.py`` applies ``--fix`` and compares
+against ``fixtures/fixed/fix_escape.py``."""
+from repro.statesave import checkpointable_state
+
+CACHE = {}
+checkpointable_state("CACHE")
+HISTORY = []
+checkpointable_state("HISTORY")
+RESULTS = {"last": None}
+checkpointable_state("RESULTS")
+
+
+def record(ctx, value):
+    RESULTS["last"] = value  # CHECK: RPR030
+    return value
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    x = ctx.allreduce(1.0, op="sum")
+    CACHE["x"] = x  # CHECK: RPR030
+    log = HISTORY
+    log.append(x)  # CHECK: RPR033
+    record(ctx, x)  # CHECK: RPR034
+    return x

@@ -63,7 +63,7 @@ class TestUnitSelection:
                 return helper(ctx, 1.0)
             """
         )
-        assert codes(result) == ["RPR010"]
+        assert codes(result) == ["RPR014"]
 
 
 class TestCollectiveMatching:
@@ -125,7 +125,7 @@ class TestCollectiveMatching:
                 return 0.0
             """
         )
-        assert "RPR010" in codes(result)
+        assert "RPR014" in codes(result)
 
     def test_unconditional_return_before_collective_is_silent(self):
         # An unconditional return is not an *early* exit — every rank

@@ -1,0 +1,146 @@
+"""The incremental check cache: content-hash keys over the sibling
+import closure, cold-vs-warm behaviour through the CLI, and the metrics
+counters the summary line reports."""
+
+import textwrap
+
+from repro.check import CheckCache, check_path
+from repro.check.cache import METRICS
+from repro.check.cli import main
+
+APP = '''
+from halo import exchange
+
+
+def main(ctx):
+    ctx.potential_checkpoint()
+    acc = exchange(ctx, 0.0)
+    return ctx.allreduce(acc, op="sum")
+'''
+
+HALO = '''
+def exchange(ctx, value):
+    ctx.potential_checkpoint()
+    import random
+    return value + random.random()
+'''
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestKeying:
+    def test_same_content_same_key(self, tmp_path):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        assert CheckCache.key_for(str(app)) == CheckCache.key_for(str(app))
+
+    def test_editing_the_target_changes_the_key(self, tmp_path):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        before = CheckCache.key_for(str(app))
+        app.write_text(app.read_text() + "\n# touched\n")
+        assert CheckCache.key_for(str(app)) != before
+
+    def test_editing_a_sibling_changes_the_key(self, tmp_path):
+        # The whole point of closing over sibling imports: editing
+        # halo.py must invalidate the cached verdict of app.py.
+        app = write(tmp_path, "app.py", APP)
+        halo = write(tmp_path, "halo.py", HALO)
+        before = CheckCache.key_for(str(app))
+        halo.write_text(halo.read_text() + "\n# touched\n")
+        assert CheckCache.key_for(str(app)) != before
+
+    def test_unrelated_files_do_not_affect_the_key(self, tmp_path):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        before = CheckCache.key_for(str(app))
+        write(tmp_path, "bystander.py", "X = 1\n")
+        assert CheckCache.key_for(str(app)) == before
+
+
+class TestRoundTrip:
+    def test_put_get_preserves_the_result(self, tmp_path):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        result = check_path(str(app))
+        cache = CheckCache(str(tmp_path / "cache"))
+        key = CheckCache.key_for(str(app))
+        cache.put(key, result)
+        cached = cache.get(key)
+        assert cached is not None
+        assert cached.to_dict() == result.to_dict()
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        before = METRICS.snapshot()["counters"].get("check.cache.miss", 0)
+        assert cache.get("no-such-key") is None
+        after = METRICS.snapshot()["counters"].get("check.cache.miss", 0)
+        assert after == before + 1
+
+    def test_hit_counts(self, tmp_path):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        cache = CheckCache(str(tmp_path / "cache"))
+        key = CheckCache.key_for(str(app))
+        cache.put(key, check_path(str(app)))
+        before = METRICS.snapshot()["counters"].get("check.cache.hit", 0)
+        assert cache.get(key) is not None
+        after = METRICS.snapshot()["counters"].get("check.cache.hit", 0)
+        assert after == before + 1
+
+
+class TestCLIColdWarm:
+    def test_warm_run_analyzes_nothing(self, tmp_path, capsys):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        cache_dir = str(tmp_path / "cache")
+        main([str(app), "--cache-dir", cache_dir, "--fail-on", "never"])
+        cold = capsys.readouterr().out
+        assert "cache: 0 hit(s), 1 analyzed" in cold
+        main([str(app), "--cache-dir", cache_dir, "--fail-on", "never"])
+        warm = capsys.readouterr().out
+        assert "cache: 1 hit(s), 0 analyzed" in warm
+
+    def test_warm_run_reports_identical_findings(self, tmp_path, capsys):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        cache_dir = str(tmp_path / "cache")
+        main([str(app), "--cache-dir", cache_dir, "--fail-on", "never"])
+        cold = capsys.readouterr().out
+        main([str(app), "--cache-dir", cache_dir, "--fail-on", "never"])
+        warm = capsys.readouterr().out
+        strip = lambda out: [
+            line for line in out.splitlines()
+            if not line.startswith("cache:")
+        ]
+        assert strip(cold) == strip(warm)
+
+    def test_editing_a_sibling_reanalyzes(self, tmp_path, capsys):
+        app = write(tmp_path, "app.py", APP)
+        halo = write(tmp_path, "halo.py", HALO)
+        cache_dir = str(tmp_path / "cache")
+        main([str(app), "--cache-dir", cache_dir, "--fail-on", "never"])
+        capsys.readouterr()
+        halo.write_text(halo.read_text().replace(
+            "import random\n    return value + random.random()",
+            "return value",
+        ))
+        main([str(app), "--cache-dir", cache_dir, "--fail-on", "never"])
+        out = capsys.readouterr().out
+        assert "cache: 0 hit(s), 1 analyzed" in out
+
+    def test_check_seconds_histogram_is_observed(self, tmp_path):
+        app = write(tmp_path, "app.py", APP)
+        write(tmp_path, "halo.py", HALO)
+        before = METRICS.snapshot()["histograms"].get(
+            "check.seconds", {}
+        ).get("count", 0)
+        main([str(app), "--fail-on", "never"])
+        after = METRICS.snapshot()["histograms"].get(
+            "check.seconds", {}
+        ).get("count", 0)
+        assert after == before + 1

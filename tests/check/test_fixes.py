@@ -18,6 +18,9 @@ def fix_source(name: str) -> tuple[str, str]:
     return source, apply_fixes(source, fixes)
 
 
+GOLDEN_NAMES = ("fix_nondet.py", "fix_defaults.py", "fix_escape.py")
+
+
 class TestGoldens:
     def test_nondet_fixture_matches_golden(self):
         _, fixed = fix_source("fix_nondet.py")
@@ -27,18 +30,81 @@ class TestGoldens:
         _, fixed = fix_source("fix_defaults.py")
         assert fixed == (GOLDEN / "fix_defaults.py").read_text()
 
+    def test_escape_fixture_matches_golden(self):
+        _, fixed = fix_source("fix_escape.py")
+        assert fixed == (GOLDEN / "fix_escape.py").read_text()
+
     def test_goldens_verify_clean(self):
-        for name in ("fix_nondet.py", "fix_defaults.py"):
+        for name in GOLDEN_NAMES:
             fixed = (GOLDEN / name).read_text()
             result = check_source(fixed, file=name)
             assert [d.code for d in result.diagnostics] == [], name
 
     def test_second_application_is_a_noop(self):
-        for name in ("fix_nondet.py", "fix_defaults.py"):
+        for name in GOLDEN_NAMES:
             _, fixed = fix_source(name)
             again = propose_fixes(fixed, file=name)
             assert again == [], name
             assert apply_fixes(fixed, again) == fixed
+
+
+class TestEscapeFixes:
+    def test_each_global_registers_once(self):
+        source = (FIXTURES / "fix_escape.py").read_text()
+        fixes = propose_fixes(source, file="fix_escape.py")
+        registrations = [
+            f.replacement for f in fixes
+            if "checkpointable_state(" in f.replacement
+            and "import" not in f.replacement
+        ]
+        # CACHE + HISTORY + RESULTS, despite RESULTS being implicated by
+        # both the RPR030 in record() and the RPR034 at its call site.
+        assert sorted(registrations) == [
+            'checkpointable_state("CACHE")\n',
+            'checkpointable_state("HISTORY")\n',
+            'checkpointable_state("RESULTS")\n',
+        ]
+
+    def test_import_is_inserted_once(self):
+        source = (FIXTURES / "fix_escape.py").read_text()
+        fixes = propose_fixes(source, file="fix_escape.py")
+        imports = [f for f in fixes if "import" in f.replacement]
+        assert len(imports) == 1
+        assert imports[0].replacement == (
+            "from repro.statesave import checkpointable_state\n"
+        )
+
+    def test_existing_import_is_not_duplicated(self):
+        source = (
+            "from repro.statesave import checkpointable_state\n"
+            "\n"
+            "CACHE = {}\n"
+            "\n"
+            "\n"
+            "def main(ctx):\n"
+            "    ctx.potential_checkpoint()\n"
+            '    x = ctx.allreduce(1.0, op="sum")\n'
+            '    CACHE["x"] = x\n'
+            "    return x\n"
+        )
+        fixes = propose_fixes(source, file="<test>")
+        assert all("import" not in f.replacement for f in fixes)
+        fixed = apply_fixes(source, fixes)
+        assert fixed.count("from repro.statesave import") == 1
+        assert 'checkpointable_state("CACHE")' in fixed
+
+    def test_globals_defined_elsewhere_are_left_alone(self):
+        source = (
+            "from somewhere import SHARED\n"
+            "\n"
+            "\n"
+            "def main(ctx):\n"
+            "    ctx.potential_checkpoint()\n"
+            '    x = ctx.allreduce(1.0, op="sum")\n'
+            '    SHARED["x"] = x\n'
+            "    return x\n"
+        )
+        assert propose_fixes(source, file="<test>") == []
 
 
 class TestProposals:
@@ -112,3 +178,93 @@ class TestCLIFixFlow:
         assert target.read_text() == before
         assert "history=None" in out  # the diff is shown
         assert "2 fix(es) proposed" in out
+
+    def test_write_fixes_escape_fixture(self, tmp_path, capsys):
+        target = tmp_path / "fix_escape.py"
+        shutil.copy(FIXTURES / "fix_escape.py", target)
+        main([str(target), "--fix", "--write"])
+        capsys.readouterr()
+        assert target.read_text() == (GOLDEN / "fix_escape.py").read_text()
+        assert main([str(target)]) == 0
+
+
+STALE_AFTER_FIX = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def main(ctx):\n"
+    "    ctx.potential_checkpoint()\n"
+    "    x = random.random()\n"
+    "    y = 1.0  # repro: ignore[RPR020]\n"
+    '    return ctx.allreduce(x + y, op="sum")\n'
+)
+
+
+class TestStaleSuppressionPruning:
+    def test_prune_removes_a_fully_stale_comment(self):
+        from repro.check.fixes import prune_stale_suppressions
+
+        fixed, pruned = prune_stale_suppressions(
+            STALE_AFTER_FIX, file="<test>"
+        )
+        assert pruned == 1
+        assert "repro: ignore" not in fixed
+        assert "y = 1.0\n" in fixed
+
+    def test_prune_keeps_live_codes_in_mixed_comments(self):
+        from repro.check.fixes import prune_stale_suppressions
+
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def main(ctx):\n"
+            "    ctx.potential_checkpoint()\n"
+            "    x = random.random()  # repro: ignore[RPR020,RPR021]\n"
+            '    return ctx.allreduce(x, op="sum")\n'
+        )
+        fixed, pruned = prune_stale_suppressions(source, file="<test>")
+        assert pruned == 1
+        assert "# repro: ignore[RPR020]" in fixed
+        assert "RPR021" not in fixed
+
+    def test_prune_is_a_noop_on_live_suppressions(self):
+        from repro.check.fixes import prune_stale_suppressions
+
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def main(ctx):\n"
+            "    ctx.potential_checkpoint()\n"
+            "    x = random.random()  # repro: ignore[RPR020]\n"
+            '    return ctx.allreduce(x, op="sum")\n'
+        )
+        fixed, pruned = prune_stale_suppressions(source, file="<test>")
+        assert pruned == 0
+        assert fixed == source
+
+    def test_write_prunes_suppressions_the_fix_strands(
+        self, tmp_path, capsys
+    ):
+        # The entropy fix rewrites random.random() -> ctx.rng.random(),
+        # which leaves a same-line suppression silencing nothing; --fix
+        # --write must drop it rather than strand it.
+        target = tmp_path / "app.py"
+        target.write_text(
+            "import random\n"
+            "\n"
+            "\n"
+            "def main(ctx):\n"
+            "    ctx.potential_checkpoint()\n"
+            "    x = random.random()\n"
+            "    y = 1.0  # repro: ignore[RPR020]\n"
+            '    return ctx.allreduce(x + y, op="sum")\n'
+        )
+        main([str(target), "--fix", "--write"])
+        out = capsys.readouterr().out
+        text = target.read_text()
+        assert "ctx.rng.random()" in text
+        assert "repro: ignore" not in text
+        assert "1 stale suppression(s) pruned" in out
+        assert main([str(target)]) == 0

@@ -1,6 +1,11 @@
 """The seeded-violation corpus: every fixture must produce *exactly* its
 inline ``# CHECK: RPRxxx`` expectations — same codes, same lines — and the
-corpus as a whole must exercise every registered diagnostic code."""
+corpus as a whole must exercise every registered diagnostic code.
+
+A fixture that pulls a sibling module into its unit (via the v3
+import-graph slicer) declares it with ``# ALSO-CHECKS: <sibling>.py``:
+the sibling's own marks are then expected to fire *again* through the
+joined unit, with spans still pointing into the sibling file."""
 
 import re
 from pathlib import Path
@@ -13,6 +18,7 @@ FIXTURE_DIR = Path(__file__).parent / "fixtures"
 FIXTURES = sorted(FIXTURE_DIR.glob("*.py"))
 
 CHECK_RE = re.compile(r"# CHECK: (RPR\d{3})")
+ALSO_RE = re.compile(r"# ALSO-CHECKS: (\S+)")
 
 
 def expected_marks(path: Path) -> list[tuple[str, int]]:
@@ -23,17 +29,27 @@ def expected_marks(path: Path) -> list[tuple[str, int]]:
     return sorted(out)
 
 
+def also_checked(path: Path) -> list[Path]:
+    return [path.parent / name for name in ALSO_RE.findall(path.read_text())]
+
+
 def test_corpus_exists():
     assert len(FIXTURES) >= 10
 
 
 @pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
 def test_fixture_produces_exactly_expected_diagnostics(path):
+    siblings = also_checked(path)
     result = check_path(str(path))
     got = sorted((d.code, d.span.line) for d in result.diagnostics)
-    assert got == expected_marks(path)
+    expected = sorted(
+        expected_marks(path)
+        + [mark for sib in siblings for mark in expected_marks(sib)]
+    )
+    assert got == expected
+    allowed_files = {str(path)} | {str(sib) for sib in siblings}
     for diag in result.diagnostics:
-        assert diag.span.file == str(path)
+        assert diag.span.file in allowed_files
         assert diag.span.col >= 0
         assert diag.function  # every finding names its function
         assert diag.hint  # and carries a fix hint

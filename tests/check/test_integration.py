@@ -32,11 +32,11 @@ class TestStrictCompile:
     def test_strict_raises_check_error(self):
         with pytest.raises(CheckError) as info:
             Precompiler([_conditional_collective]).compile(strict=True)
-        assert any(d.code == "RPR010" for d in info.value.diagnostics)
+        assert any(d.code == "RPR014" for d in info.value.diagnostics)
 
     def test_default_compile_attaches_diagnostics(self):
         unit = Precompiler([_conditional_collective]).compile()
-        assert any(d.code == "RPR010" for d in unit.diagnostics)
+        assert any(d.code == "RPR014" for d in unit.diagnostics)
 
     def test_strict_diagnostics_match_the_cli_checker(self):
         # The acceptance contract: strict compile fails with the same

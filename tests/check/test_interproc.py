@@ -211,7 +211,7 @@ class TestBranchResolution:
                 return y
             """
         )
-        assert "RPR010" in codes(result)
+        assert "RPR014" in codes(result)
 
 
 class TestLaplaceRegression:

@@ -1,4 +1,4 @@
-"""The versioned JSON output contract: ``repro.check/2`` payloads carry
+"""The versioned JSON output contract: ``repro.check/3`` payloads carry
 suppression and fix records alongside the diagnostics."""
 
 import json
@@ -24,7 +24,7 @@ def run_json(capsys):
 class TestPayloadSchema:
     def test_schema_is_versioned(self, run_json):
         payload = run_json([str(FIXTURES / "clean_app.py")])
-        assert SCHEMA == "repro.check/2"
+        assert SCHEMA == "repro.check/3"
         assert payload["schema"] == SCHEMA
         assert payload["results"][0]["schema"] == SCHEMA
 

@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 output: rule registry, result mapping, 1-based region
+coordinates, and the CLI ``--format sarif`` flow."""
+
+import json
+from pathlib import Path
+
+from repro.check import CODES, check_path, sarif_payload
+from repro.check.cli import main
+from repro.check.sarif import SARIF_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def payload_for(*names):
+    results = [check_path(str(FIXTURES / name)) for name in names]
+    return sarif_payload(results)
+
+
+class TestPayloadShape:
+    def test_version_and_single_run(self):
+        payload = payload_for("vds_globals.py")
+        assert payload["version"] == SARIF_VERSION
+        assert len(payload["runs"]) == 1
+        assert payload["runs"][0]["tool"]["driver"]["name"] == "repro-check"
+
+    def test_every_code_is_a_rule(self):
+        payload = payload_for("clean_app.py")
+        rules = payload["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} == set(CODES)
+
+    def test_results_reference_registered_rules(self):
+        payload = payload_for("vds_globals.py", "collective_branch.py")
+        results = payload["runs"][0]["results"]
+        assert results
+        for r in results:
+            assert r["ruleId"] in CODES
+            assert r["level"] in {"error", "warning", "note"}
+
+    def test_regions_are_one_based(self):
+        path = FIXTURES / "vds_globals.py"
+        payload = payload_for("vds_globals.py")
+        for r in payload["runs"][0]["results"]:
+            region = r["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            uri = r["locations"][0]["physicalLocation"]["artifactLocation"]
+            assert uri["uri"] == str(path)
+
+    def test_message_carries_the_hint(self):
+        payload = payload_for("vds_globals.py")
+        texts = [
+            r["message"]["text"]
+            for r in payload["runs"][0]["results"]
+        ]
+        assert any("hint:" in t for t in texts)
+
+    def test_clean_result_has_no_results(self):
+        payload = payload_for("clean_app.py")
+        assert payload["runs"][0]["results"] == []
+
+
+class TestCLISarif:
+    def test_format_sarif_prints_parseable_sarif(self, capsys):
+        status = main([
+            str(FIXTURES / "vds_globals.py"), "--format", "sarif",
+            "--fail-on", "never",
+        ])
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert status == 0
+        assert payload["version"] == SARIF_VERSION
+        assert payload["runs"][0]["results"]
+
+    def test_exit_status_still_reflects_findings(self, capsys):
+        status = main([
+            str(FIXTURES / "vds_globals.py"), "--format", "sarif",
+        ])
+        capsys.readouterr()
+        assert status == 1

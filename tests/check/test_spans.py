@@ -66,6 +66,97 @@ class TestDecoratedSpans:
         assert "time.time()" in lines[diag.span.line - 1]
 
 
+STACKED_MODULE = '''\
+"""Unit function hidden behind a *chain* of wrapping decorators."""
+
+import functools
+import time
+
+
+def traced(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def retried(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@traced
+@retried
+def main(ctx):
+    ctx.potential_checkpoint()
+    t = time.time()
+    return ctx.allreduce(t, op="sum")
+'''
+
+
+@pytest.fixture
+def stacked_module(tmp_path):
+    path = tmp_path / "stacked_app.py"
+    path.write_text(STACKED_MODULE)
+    spec = importlib.util.spec_from_file_location("stacked_app", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["stacked_app"] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop("stacked_app", None)
+
+
+class TestStackedDecoratorSpans:
+    def test_unwrap_follows_the_whole_wrapper_chain(self, stacked_module):
+        result = check_functions([stacked_module.main], target="stacked")
+        diag = next(d for d in result.diagnostics if d.code == "RPR021")
+        lines = STACKED_MODULE.splitlines()
+        assert "time.time()" in lines[diag.span.line - 1]
+        assert diag.span.file.endswith("stacked_app.py")
+        assert diag.function == "main"
+
+    def test_every_span_lands_inside_the_original_def(self, stacked_module):
+        result = check_functions([stacked_module.main], target="stacked")
+        lines = STACKED_MODULE.splitlines()
+        def_line = next(
+            i for i, text in enumerate(lines, 1)
+            if text.startswith("def main")
+        )
+        for diag in result.diagnostics:
+            assert diag.span.line >= def_line
+
+
+class TestPrecompiledDualFormSpans:
+    def test_compile_diagnostics_use_original_coordinates(
+        self, stacked_module, tmp_path
+    ):
+        # The precompiler checks the *original* defs and then builds both
+        # cores (sync + co_ generator twin); the attached diagnostics
+        # must keep pointing at the original file regardless.
+        from repro.precompiler.api import Precompiler
+
+        unit = Precompiler([stacked_module.main]).compile()
+        assert unit.co_functions  # the dual form exists
+        diag = next(d for d in unit.diagnostics if d.code == "RPR021")
+        lines = (tmp_path / "stacked_app.py").read_text().splitlines()
+        assert "time.time()" in lines[diag.span.line - 1]
+        assert diag.span.file.endswith("stacked_app.py")
+
+    def test_both_cores_share_the_func_id(self, stacked_module):
+        from repro.precompiler.api import Precompiler
+
+        unit = Precompiler([stacked_module.main]).compile()
+        sync_id = unit.code_map[unit.functions["main"].__code__]
+        co_id = unit.code_map[unit.co_functions["main"].__code__]
+        assert sync_id == co_id
+
+
 class TestUndecoratedSpans:
     def test_plain_function_spans_are_absolute(self, tmp_path):
         path = tmp_path / "plain_app.py"
